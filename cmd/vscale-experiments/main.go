@@ -1,0 +1,157 @@
+// Command vscale-experiments regenerates the tables and figures of the
+// vScale paper's evaluation (§5) on the simulated substrate.
+//
+// Usage:
+//
+//	vscale-experiments [-run list] [-quick] [-window seconds]
+//
+// -run selects a comma-separated subset (table1, figure4, table2,
+// table3, figure5, figure6, figure7, figure8, figure9, figure10,
+// figure11, figure12, figure13, figure14, ablations); the default runs
+// everything. -quick shrinks sweeps for a fast smoke pass.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"vscale/internal/experiments"
+	"vscale/internal/scenario"
+	"vscale/internal/sim"
+)
+
+func main() {
+	runList := flag.String("run", "all", "comma-separated experiments to run (or 'all')")
+	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	window := flag.Float64("window", 20, "Apache measurement window per load level, seconds")
+	flag.Parse()
+
+	selected := map[string]bool{}
+	for _, s := range strings.Split(*runList, ",") {
+		selected[strings.TrimSpace(s)] = true
+	}
+	want := func(name string) bool { return selected["all"] || selected[name] }
+
+	out := os.Stdout
+	section := func(title string) {
+		fmt.Fprintf(out, "\n==================================================================\n%s\n==================================================================\n", title)
+	}
+	start := time.Now()
+
+	if want("figure1") {
+		section("Figure 1 — the three delay phenomena, quantified")
+		dur := 10 * sim.Second
+		if *quick {
+			dur = 3 * sim.Second
+		}
+		fmt.Fprint(out, experiments.Motivation(dur).Render())
+	}
+	if want("table1") {
+		section("Table 1 — vScale channel read overhead")
+		fmt.Fprint(out, experiments.Table1(1000).Render())
+	}
+	if want("figure4") {
+		section("Figure 4 — dom0/libxl monitoring overhead")
+		reps := 10000
+		if *quick {
+			reps = 500
+		}
+		fmt.Fprint(out, experiments.Figure4([]int{1, 10, 20, 30, 40, 50}, reps).Render())
+	}
+	if want("table2") {
+		section("Table 2 — interrupt quiescence after freezing vCPU3")
+		fmt.Fprint(out, experiments.Table2().Render())
+	}
+	if want("table3") {
+		section("Table 3 — freeze cost breakdown")
+		fmt.Fprint(out, experiments.Table3().Render())
+	}
+	if want("figure5") {
+		section("Figure 5 — Linux CPU hotplug latency")
+		reps := 100
+		if *quick {
+			reps = 30
+		}
+		fmt.Fprint(out, experiments.Figure5(reps).Render())
+	}
+
+	npbApps := []string(nil) // all
+	parsecApps := []string(nil)
+	if *quick {
+		npbApps = []string{"cg", "ep", "lu"}
+		parsecApps = []string{"dedup", "streamcluster", "swaptions"}
+	}
+
+	var npb4 experiments.NPBResult
+	haveNPB4 := false
+	if want("figure6") || want("figure9") || want("figure10") {
+		npb4 = experiments.NPBSweep(4, npbApps, nil, nil)
+		haveNPB4 = true
+	}
+	if want("figure6") {
+		section("Figure 6 — NPB normalized execution time (4-vCPU VM)")
+		for _, spin := range experiments.SpinCounts {
+			fmt.Fprint(out, npb4.RenderFigure(spin), "\n")
+		}
+	}
+	if want("figure7") {
+		section("Figure 7 — NPB normalized execution time (8-vCPU VM)")
+		npb8 := experiments.NPBSweep(8, npbApps, nil, nil)
+		for _, spin := range experiments.SpinCounts {
+			fmt.Fprint(out, npb8.RenderFigure(spin), "\n")
+		}
+	}
+	if want("figure8") {
+		section("Figure 8 — active vCPUs over time (bt under vScale)")
+		fmt.Fprint(out, experiments.Figure8(10*sim.Second).Render())
+	}
+	if want("figure9") && haveNPB4 {
+		section("Figure 9 — VM waiting-time reduction")
+		fmt.Fprint(out, npb4.RenderFigure9(30_000_000_000))
+	}
+	if want("figure10") && haveNPB4 {
+		section("Figure 10 — NPB virtual-IPI rates")
+		fmt.Fprint(out, npb4.RenderFigure10())
+	}
+
+	if want("figure11") || want("figure13") {
+		section("Figures 11/13 — PARSEC (4-vCPU VM)")
+		p4 := experiments.ParsecSweep(4, parsecApps, nil)
+		fmt.Fprint(out, p4.RenderFigure(), "\n", p4.RenderFigure13())
+	}
+	if want("figure12") {
+		section("Figure 12 — PARSEC (8-vCPU VM)")
+		p8 := experiments.ParsecSweep(8, parsecApps, nil)
+		fmt.Fprint(out, p8.RenderFigure())
+	}
+
+	if want("figure14") {
+		section("Figure 14 — Apache web server")
+		rates := []float64{0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+		if *quick {
+			rates = []float64{2, 4, 6, 8, 10}
+		}
+		res := experiments.Apache(rates, sim.FromSeconds(*window), nil)
+		fmt.Fprint(out, res.Render())
+	}
+
+	if want("ablations") {
+		section("Ablations — design-choice benches (DESIGN.md A1-A5)")
+		fmt.Fprint(out, experiments.AblationWeightOnly("cg").Render(), "\n")
+		fmt.Fprint(out, experiments.AblationHotplugPath("cg").Render(), "\n")
+		fmt.Fprint(out, experiments.AblationDaemonPeriod("cg", nil).Render(), "\n")
+		fmt.Fprint(out, experiments.AblationPerVMWeight("cg").Render(), "\n")
+		fmt.Fprint(out, experiments.AblationCeilMargin("cg").Render(), "\n")
+		fmt.Fprint(out, experiments.AblationSchedulerGenerality("cg").Render())
+	}
+
+	if want("extension") {
+		section("Extension — §7 future work: vScale-aware adaptive OpenMP teams")
+		fmt.Fprint(out, experiments.ExtensionAdaptiveTeam("cg").Render())
+	}
+
+	fmt.Fprintf(out, "\nall experiments done in %v (modes: %v)\n", time.Since(start).Round(time.Millisecond), scenario.Modes())
+}

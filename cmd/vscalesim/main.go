@@ -1,0 +1,138 @@
+// Command vscalesim runs a single consolidation scenario: an SMP-VM
+// executing one workload next to bursty slideshow desktops, under one of
+// the four configurations of the paper, and prints the run's metrics.
+//
+// Usage:
+//
+//	vscalesim -workload npb:cg -mode vscale -vcpus 4 -pcpus 8 \
+//	          -spincount 300000 [-trace] [-seed 1]
+//
+// Workloads: npb:<bt|cg|dc|ep|ft|is|lu|mg|sp|ua>,
+// parsec:<blackscholes|...|x264>, kernel-build, httpd:<rateK>.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"vscale/internal/guest"
+	"vscale/internal/scenario"
+	"vscale/internal/sim"
+	"vscale/internal/workload"
+	"vscale/internal/workload/httpd"
+	"vscale/internal/workload/npb"
+	"vscale/internal/workload/parsec"
+)
+
+func main() {
+	wl := flag.String("workload", "npb:cg", "workload to run")
+	modeStr := flag.String("mode", "baseline", "baseline | pvlock | vscale | vscale+pvlock")
+	vcpus := flag.Int("vcpus", 4, "vCPUs of the VM under test")
+	pcpus := flag.Int("pcpus", 8, "pCPUs in the domU pool")
+	spin := flag.Uint64("spincount", 300_000, "GOMP_SPINCOUNT for OpenMP workloads")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	trace := flag.Bool("trace", false, "print the active-vCPU trace")
+	nobg := flag.Bool("dedicated", false, "no background VMs")
+	maxSecs := flag.Float64("max", 600, "simulation deadline, seconds")
+	flag.Parse()
+
+	var mode scenario.Mode
+	switch *modeStr {
+	case "baseline":
+		mode = scenario.Baseline
+	case "pvlock":
+		mode = scenario.PVLock
+	case "vscale":
+		mode = scenario.VScale
+	case "vscale+pvlock":
+		mode = scenario.VScalePVLock
+	default:
+		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeStr)
+		os.Exit(2)
+	}
+
+	s := scenario.DefaultSetup()
+	s.Mode = mode
+	s.VMVCPUs = *vcpus
+	s.PCPUs = *pcpus
+	s.Seed = *seed
+	s.NoBackground = *nobg
+	b := scenario.Build(s)
+	if *trace {
+		b.K.StartTrace(100 * sim.Millisecond)
+	}
+
+	fmt.Printf("host: %d pCPUs, VM: %d vCPUs, %d background VMs, mode: %v, workload: %s\n",
+		s.PCPUs, s.VMVCPUs, len(b.BG), mode, *wl)
+
+	switch {
+	case strings.HasPrefix(*wl, "npb:"):
+		app := strings.TrimPrefix(*wl, "npb:")
+		p, err := npb.ProfileFor(app)
+		fatal(err)
+		res := b.RunApp(func(k *guest.Kernel) *workload.App {
+			return npb.Launch(k, p, *vcpus, guest.SpinBudgetFromCount(*spin))
+		}, sim.FromSeconds(*maxSecs))
+		printResult(res)
+	case strings.HasPrefix(*wl, "parsec:"):
+		app := strings.TrimPrefix(*wl, "parsec:")
+		p, err := parsec.ProfileFor(app)
+		fatal(err)
+		res := b.RunApp(func(k *guest.Kernel) *workload.App {
+			return parsec.Launch(k, p, *vcpus, guest.SpinBudgetFromCount(*spin))
+		}, sim.FromSeconds(*maxSecs))
+		printResult(res)
+	case *wl == "kernel-build":
+		res := b.RunApp(func(k *guest.Kernel) *workload.App {
+			app := workload.NewApp(k, "kernel-build")
+			workload.NewKernelBuild(k, 2**vcpus).Start(app)
+			return app
+		}, sim.FromSeconds(*maxSecs))
+		printResult(res) // forever-workload: reports the deadline window
+	case strings.HasPrefix(*wl, "httpd:"):
+		rateK, err := strconv.ParseFloat(strings.TrimPrefix(*wl, "httpd:"), 64)
+		fatal(err)
+		cfg := httpd.DefaultConfig()
+		link := httpd.NewLink(b.Eng, cfg.LinkBps)
+		srv := httpd.NewServer(b.K, link, cfg)
+		client := httpd.NewClient(srv, sim.NewRand(*seed+7))
+		warm := 2 * sim.Second
+		fatal(b.Eng.RunUntil(warm))
+		window := sim.FromSeconds(*maxSecs)
+		client.Run(rateK*1000, window)
+		fatal(b.Eng.RunUntil(warm + window + 2*sim.Second))
+		r := srv.Result(rateK*1000, window)
+		fmt.Printf("offered: %.1fK/s  replies: %.2fK/s  conn: %.2fms  resp: %.2fms  errors: %d\n",
+			r.RateRequested/1000, r.ReplyRate/1000, r.AvgConnMs, r.AvgRespMs, r.Errors)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+		os.Exit(2)
+	}
+
+	if *trace {
+		fmt.Println("\nactive-vCPU trace:")
+		for _, p := range b.K.Trace() {
+			fmt.Printf("  t=%6.2fs  active=%d %s\n", p.At.Seconds(), p.Active,
+				strings.Repeat("#", p.Active))
+		}
+	}
+}
+
+func printResult(r scenario.AppResult) {
+	status := "completed"
+	if r.TimedOut {
+		status = "deadline reached"
+	}
+	fmt.Printf("%s: exec=%v  vm-wait=%v  ipis/vcpu/s=%.1f  avg-active-vcpus=%.2f\n",
+		status, r.ExecTime, r.WaitTime, r.IPIsPerVCPUSec, r.AvgActiveVCPUs)
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,43 @@
+// Elastictrace example: watch a VM breathe. Runs bt under vScale on 4-
+// and 8-vCPU VMs and prints the active-vCPU traces — the paper's
+// Figure 8. The VM sheds vCPUs whenever the background desktops decode a
+// picture and grows back within a daemon period once they idle.
+package main
+
+import (
+	"fmt"
+	"strings"
+
+	"vscale"
+	"vscale/internal/guest"
+	"vscale/internal/workload"
+	"vscale/internal/workload/npb"
+)
+
+func main() {
+	fmt.Println("Active vCPUs over time: bt under vScale (paper Figure 8)")
+	for _, vcpus := range []int{4, 8} {
+		setup := vscale.DefaultSetup()
+		setup.Mode = vscale.VScale
+		setup.VMVCPUs = vcpus
+		sc := vscale.NewScenario(setup)
+		sc.K.StartTrace(200 * vscale.Millisecond)
+
+		profile, err := npb.ProfileFor("bt")
+		if err != nil {
+			panic(err)
+		}
+		res := sc.RunApp(func(k *guest.Kernel) *workload.App {
+			return npb.Launch(k, profile, vcpus, vscale.SpinBudgetFromCount(300_000))
+		}, 10*vscale.Second)
+
+		fmt.Printf("\n%d-vCPU VM (avg active %.2f):\n", vcpus, res.AvgActiveVCPUs)
+		for _, p := range sc.K.Trace() {
+			fmt.Printf("  t=%5.1fs |%-8s| %d\n", p.At.Seconds(),
+				strings.Repeat("#", p.Active), p.Active)
+		}
+		reads, decisions := sc.K.DaemonStats()
+		fmt.Printf("  daemon: %d channel reads, %d scaling decisions, %d freezes, %d unfreezes\n",
+			reads, decisions, sc.K.FreezeOps, sc.K.UnfreezeOps)
+	}
+}

@@ -1,0 +1,50 @@
+// Webserver example: drive the Apache-style server across request rates
+// with and without vScale, on a consolidated host — the paper's Figure
+// 14 workload. Connection time shows the I/O-interrupt delay; the reply
+// rate shows where each configuration saturates.
+package main
+
+import (
+	"fmt"
+
+	"vscale"
+	"vscale/internal/sim"
+	"vscale/internal/workload/httpd"
+)
+
+func main() {
+	fmt.Println("Apache-style server, 16KB file over a shared 1GbE link (4-vCPU VM, 2:1 host)")
+	fmt.Printf("%-8s | %-28s | %-28s\n", "", "Xen/Linux", "vScale")
+	fmt.Printf("%-8s | %8s %9s %8s | %8s %9s %8s\n",
+		"offered", "replies", "conn(ms)", "resp(ms)", "replies", "conn(ms)", "resp(ms)")
+
+	const window = 15 * vscale.Second
+	for _, rateK := range []float64{1, 3, 5, 7, 9} {
+		row := fmt.Sprintf("%5.1fK/s |", rateK)
+		for _, mode := range []vscale.Mode{vscale.Baseline, vscale.VScale} {
+			setup := vscale.DefaultSetup()
+			setup.Mode = mode
+			sc := vscale.NewScenario(setup)
+
+			cfg := httpd.DefaultConfig()
+			link := httpd.NewLink(sc.Eng, cfg.LinkBps)
+			srv := httpd.NewServer(sc.K, link, cfg)
+			client := httpd.NewClient(srv, sim.NewRand(7))
+
+			warm := 2 * vscale.Second
+			if err := sc.Eng.RunUntil(warm); err != nil {
+				panic(err)
+			}
+			client.Run(rateK*1000, window)
+			if err := sc.Eng.RunUntil(warm + window + 2*vscale.Second); err != nil {
+				panic(err)
+			}
+			r := srv.Result(rateK*1000, window)
+			row += fmt.Sprintf(" %6.2fK %9.2f %8.1f |", r.ReplyRate/1000, r.AvgConnMs, r.AvgRespMs)
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nPast ~5K req/s the baseline's interrupt delays push it into the TCP slow")
+	fmt.Println("path and its reply rate collapses; vScale keeps the interrupt-bound vCPU")
+	fmt.Println("scheduled and saturates close to the link rate.")
+}

@@ -1,0 +1,3 @@
+module vscale
+
+go 1.22

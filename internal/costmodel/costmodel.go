@@ -1,0 +1,170 @@
+// Package costmodel centralises the micro-operation latencies charged by
+// the simulation. The constants come from the vScale paper's own
+// measurements (Tables 1 and 3, Figure 4, Figure 5 and §5.1 text), so
+// the mechanism-level experiments re-derive the paper's breakdowns and
+// the application-level experiments charge realistic overheads for every
+// syscall, hypercall and migration the mechanisms perform.
+package costmodel
+
+import "vscale/internal/sim"
+
+// Costs of the vScale communication and reconfiguration path (paper
+// Tables 1 and 3).
+const (
+	// Syscall is the cost of entering/leaving the guest kernel
+	// (sys_getvscaleinfo / sys_freezecpu): 0.69 µs.
+	Syscall = 690 * sim.Nanosecond
+
+	// Hypercall is the incremental cost of a hypercall from the guest
+	// kernel (SCHEDOP_getvscaleinfo / SCHEDOP_freezecpu): 0.22 µs.
+	Hypercall = 220 * sim.Nanosecond
+
+	// FreezeLock covers acquiring/releasing cpu_freeze_lock with
+	// interrupt state saved/restored: 0.06 µs.
+	FreezeLock = 60 * sim.Nanosecond
+
+	// FreezeMaskUpdate flips the target bit of cpu_freeze_mask: 0.03 µs.
+	FreezeMaskUpdate = 30 * sim.Nanosecond
+
+	// GroupPowerUpdate updates scheduling domain/group power under an RCU
+	// lock: 0.12 µs.
+	GroupPowerUpdate = 120 * sim.Nanosecond
+
+	// RescheduleIPISend is the cost, on the sender, of issuing a
+	// reschedule IPI (the dominant term of Table 3's master-side cost):
+	// 0.98 µs.
+	RescheduleIPISend = 980 * sim.Nanosecond
+)
+
+// ChannelRead is the total cost of one vScale-channel read: a system call
+// plus a hypercall (Table 1: 0.69 + 0.22 = 0.91 µs).
+const ChannelRead = Syscall + Hypercall
+
+// FreezeMasterCost is the total master-vCPU cost of freezing or
+// unfreezing one vCPU (Table 3: 2.10 µs).
+const FreezeMasterCost = Syscall + FreezeLock + FreezeMaskUpdate +
+	GroupPowerUpdate + Hypercall + RescheduleIPISend
+
+// Per-item costs on the target vCPU during freeze (paper Table 3: 0.9–1.1
+// µs per migrated thread, 0.8–1.2 µs per migrated device interrupt).
+const (
+	ThreadMigrateMin = 900 * sim.Nanosecond
+	ThreadMigrateMax = 1100 * sim.Nanosecond
+	IRQMigrateMin    = 800 * sim.Nanosecond
+	IRQMigrateMax    = 1200 * sim.Nanosecond
+)
+
+// Guest-kernel scheduling costs. These are typical Linux numbers, used so
+// context switches and wakeups are not free in the application runs.
+const (
+	// ContextSwitch is a thread context switch inside the guest.
+	ContextSwitch = 1500 * sim.Nanosecond
+
+	// FutexWakeCost is the kernel-side cost of futex_wake on the waker.
+	FutexWakeCost = 800 * sim.Nanosecond
+
+	// FutexWaitCost is the kernel-side cost of futex_wait entry/exit.
+	FutexWaitCost = 1000 * sim.Nanosecond
+
+	// IPIDeliver is the interrupt-entry cost on a *running* target vCPU;
+	// the real latency of interest (scheduling delay) is added by the
+	// hypervisor when the target is not running.
+	IPIDeliver = 500 * sim.Nanosecond
+
+	// SpinCheck is one user-level spin iteration (load + compiler
+	// barrier), used to convert GOMP_SPINCOUNT counts into virtual time.
+	// ~2 ns per iteration on the paper's 2.53 GHz Xeons.
+	SpinCheck = 2 * sim.Nanosecond
+)
+
+// VM switch cost at the hypervisor (context switch between vCPUs on a
+// pCPU, including the cache-pollution tax the paper's §2.1 discusses).
+const VMSwitch = 4 * sim.Microsecond
+
+// Dom0 / libxl monitoring costs (Figure 4: ~480 µs per VM when dom0 is
+// idle, inflated under I/O load by queueing in dom0).
+const (
+	// LibxlPerVMRead is the base cost of reading one VM's CPU consumption
+	// through libxl/XenStore from dom0.
+	LibxlPerVMRead = 480 * sim.Microsecond
+
+	// XenStoreWrite is one XenStore write (dom0-driven hotplug path).
+	XenStoreWrite = 120 * sim.Microsecond
+)
+
+// Range describes a uniform latency interval used where the paper
+// reports a min–max band.
+type Range struct {
+	Min, Max sim.Time
+}
+
+// Draw samples the range uniformly using r.
+func (rg Range) Draw(r *sim.Rand) sim.Time {
+	return r.Duration(rg.Min, rg.Max)
+}
+
+// Mid returns the midpoint of the range.
+func (rg Range) Mid() sim.Time { return (rg.Min + rg.Max) / 2 }
+
+// ThreadMigrate is the per-thread migration cost range on the target
+// vCPU.
+var ThreadMigrate = Range{ThreadMigrateMin, ThreadMigrateMax}
+
+// IRQMigrate is the per-device-interrupt rebind cost range.
+var IRQMigrate = Range{IRQMigrateMin, IRQMigrateMax}
+
+// HotplugModel captures the latency distribution of legacy Linux CPU
+// hotplug for one kernel version (paper Figure 5). Latencies are drawn
+// log-normally between the observed bands, which matches the long-tailed
+// CDFs in the figure.
+type HotplugModel struct {
+	Version string
+	// Down (cpu remove) and Up (cpu add) latency shapes: median and
+	// sigma of a log-normal in milliseconds, plus a hard floor.
+	DownMedianMs float64
+	DownSigma    float64
+	DownFloorMs  float64
+	UpMedianMs   float64
+	UpSigma      float64
+	UpFloorMs    float64
+}
+
+// DrawDown samples one CPU-remove latency.
+func (m HotplugModel) DrawDown(r *sim.Rand) sim.Time {
+	return drawLogNormalMs(r, m.DownMedianMs, m.DownSigma, m.DownFloorMs)
+}
+
+// DrawUp samples one CPU-add latency.
+func (m HotplugModel) DrawUp(r *sim.Rand) sim.Time {
+	return drawLogNormalMs(r, m.UpMedianMs, m.UpSigma, m.UpFloorMs)
+}
+
+func drawLogNormalMs(r *sim.Rand, medianMs, sigma, floorMs float64) sim.Time {
+	v := medianMs * r.LogNormal(0, sigma)
+	if v < floorMs {
+		v = floorMs
+	}
+	return sim.FromMillis(v)
+}
+
+// HotplugModels lists the four kernel versions evaluated in Figure 5.
+// Parameters are fitted to the paper's CDFs: removing a vCPU costs a few
+// ms to >100 ms; adding is 350–500 µs at best on 3.14.15 and tens of ms
+// on the other kernels.
+var HotplugModels = []HotplugModel{
+	{Version: "v-2.6.32", DownMedianMs: 40, DownSigma: 0.8, DownFloorMs: 5, UpMedianMs: 30, UpSigma: 0.7, UpFloorMs: 8},
+	{Version: "v-3.2.60", DownMedianMs: 25, DownSigma: 0.8, DownFloorMs: 4, UpMedianMs: 20, UpSigma: 0.7, UpFloorMs: 5},
+	{Version: "v-3.14.15", DownMedianMs: 12, DownSigma: 0.9, DownFloorMs: 2, UpMedianMs: 0.42, UpSigma: 0.12, UpFloorMs: 0.35},
+	{Version: "v-4.2", DownMedianMs: 18, DownSigma: 0.9, DownFloorMs: 3, UpMedianMs: 15, UpSigma: 0.8, UpFloorMs: 4},
+}
+
+// HotplugModelFor returns the model for a kernel version string and
+// whether it exists.
+func HotplugModelFor(version string) (HotplugModel, bool) {
+	for _, m := range HotplugModels {
+		if m.Version == version {
+			return m, true
+		}
+	}
+	return HotplugModel{}, false
+}

@@ -1,0 +1,99 @@
+package costmodel
+
+import (
+	"testing"
+
+	"vscale/internal/sim"
+)
+
+func TestChannelReadMatchesPaperTable1(t *testing.T) {
+	// Table 1: syscall 0.69 µs, +hypercall = 0.91 µs total.
+	if Syscall != 690*sim.Nanosecond {
+		t.Fatalf("syscall = %v", Syscall)
+	}
+	if ChannelRead != 910*sim.Nanosecond {
+		t.Fatalf("channel read = %v, want 0.91µs", ChannelRead)
+	}
+}
+
+func TestFreezeMasterCostMatchesPaperTable3(t *testing.T) {
+	// Table 3's running total ends at 2.10 µs on the master vCPU.
+	if FreezeMasterCost != 2100*sim.Nanosecond {
+		t.Fatalf("freeze master cost = %v, want 2.10µs", FreezeMasterCost)
+	}
+	// The cumulative breakdown must match the paper's intermediate sums.
+	steps := []struct {
+		add  sim.Time
+		want sim.Time
+	}{
+		{Syscall, 690 * sim.Nanosecond},
+		{FreezeLock, 750 * sim.Nanosecond},
+		{FreezeMaskUpdate, 780 * sim.Nanosecond},
+		{GroupPowerUpdate, 900 * sim.Nanosecond},
+		{Hypercall, 1120 * sim.Nanosecond},
+		{RescheduleIPISend, 2100 * sim.Nanosecond},
+	}
+	var sum sim.Time
+	for i, s := range steps {
+		sum += s.add
+		if sum != s.want {
+			t.Fatalf("step %d cumulative = %v, want %v", i+1, sum, s.want)
+		}
+	}
+}
+
+func TestRangeDraw(t *testing.T) {
+	r := sim.NewRand(1)
+	for i := 0; i < 1000; i++ {
+		d := ThreadMigrate.Draw(r)
+		if d < ThreadMigrateMin || d > ThreadMigrateMax {
+			t.Fatalf("thread migrate draw %v outside [%v,%v]", d, ThreadMigrateMin, ThreadMigrateMax)
+		}
+		d = IRQMigrate.Draw(r)
+		if d < IRQMigrateMin || d > IRQMigrateMax {
+			t.Fatalf("irq migrate draw %v out of range", d)
+		}
+	}
+	if ThreadMigrate.Mid() != sim.Microsecond {
+		t.Fatalf("thread migrate midpoint = %v", ThreadMigrate.Mid())
+	}
+}
+
+func TestHotplugModelsOrdersOfMagnitude(t *testing.T) {
+	r := sim.NewRand(2)
+	for _, m := range HotplugModels {
+		var downSum, upSum sim.Time
+		const n = 200
+		for i := 0; i < n; i++ {
+			d := m.DrawDown(r)
+			if d < sim.FromMillis(m.DownFloorMs) {
+				t.Fatalf("%s: down %v below floor", m.Version, d)
+			}
+			downSum += d
+			upSum += m.DrawUp(r)
+		}
+		downAvg, upAvg := downSum/n, upSum/n
+		// Hotplug must be at least 100x slower than the vScale freeze
+		// (2.1 µs): the paper's headline 100x–100,000x comparison.
+		if downAvg < 100*FreezeMasterCost {
+			t.Fatalf("%s: down avg %v not >100x vScale freeze", m.Version, downAvg)
+		}
+		if m.Version == "v-3.14.15" {
+			// Best case in the paper: adding a vCPU is 350–500 µs.
+			if upAvg < 300*sim.Microsecond || upAvg > 700*sim.Microsecond {
+				t.Fatalf("3.14.15 up avg = %v, want ~350-500µs", upAvg)
+			}
+		} else if upAvg < 5*sim.Millisecond {
+			t.Fatalf("%s: up avg %v should be tens of ms", m.Version, upAvg)
+		}
+	}
+}
+
+func TestHotplugModelFor(t *testing.T) {
+	if _, ok := HotplugModelFor("v-3.14.15"); !ok {
+		t.Fatal("missing 3.14.15 model")
+	}
+	if _, ok := HotplugModelFor("v-9.9"); ok {
+		t.Fatal("unexpected model")
+	}
+}

@@ -1,0 +1,139 @@
+// Package dom0 models Xen's control domain and its libxl/XenStore
+// toolstack, which the paper's Figure 4 evaluates as the centralised
+// alternative to vScale's per-VM channel. dom0 forwards all guest I/O
+// through its backend drivers, so toolstack operations (reading VM CPU
+// consumptions, writing vCPU availability for hotplug) queue behind I/O
+// forwarding work; the busier dom0 is, the slower — and more variable —
+// monitoring becomes, and the cost grows linearly with the number of
+// VMs. vScale's channel (Table 1) bypasses all of this.
+package dom0
+
+import (
+	"fmt"
+
+	"vscale/internal/costmodel"
+	"vscale/internal/sim"
+)
+
+// Workload describes dom0's background I/O forwarding load.
+type Workload int
+
+// Background workload kinds for the monitoring experiment (Figure 4).
+const (
+	// Idle: no guest I/O is being forwarded.
+	Idle Workload = iota
+	// DiskIO: one VM performs disk I/O through dom0's block backend.
+	DiskIO
+	// NetworkIO: one VM transmits over the network through dom0's
+	// netback (the heaviest case in the paper).
+	NetworkIO
+)
+
+func (w Workload) String() string {
+	switch w {
+	case Idle:
+		return "w/o workload"
+	case DiskIO:
+		return "w/ disk I/O"
+	case NetworkIO:
+		return "w/ network I/O"
+	default:
+		return fmt.Sprintf("Workload(%d)", int(w))
+	}
+}
+
+// Config parameterises the dom0 model.
+type Config struct {
+	// PerVMReadCost is the base libxl cost of reading one VM's CPU
+	// consumption when dom0 is idle (paper: ~480 µs).
+	PerVMReadCost sim.Time
+
+	// Busy fractions: the probability that a toolstack operation finds
+	// dom0's event loop busy forwarding I/O, and the distribution of the
+	// resulting queueing delay per VM read. Fitted to Figure 4: network
+	// I/O inflates a 50-VM sweep from ~24 ms to >6 ms average with ~30 ms
+	// maxima.
+	DiskBusyProb, NetBusyProb     float64
+	DiskDelayMean, DiskDelaySigma float64 // log-normal, microseconds
+	NetDelayMean, NetDelaySigma   float64
+}
+
+// DefaultConfig returns parameters fitted to the paper's measurements.
+func DefaultConfig() Config {
+	return Config{
+		PerVMReadCost:  costmodel.LibxlPerVMRead,
+		DiskBusyProb:   0.35,
+		NetBusyProb:    0.55,
+		DiskDelayMean:  160, // µs median extra per read under disk I/O
+		DiskDelaySigma: 0.9,
+		NetDelayMean:   320, // µs median extra per read under network I/O
+		NetDelaySigma:  1.1,
+	}
+}
+
+// Dom0 models the control domain's toolstack.
+type Dom0 struct {
+	cfg  Config
+	rand *sim.Rand
+
+	// Reads counts completed monitoring sweeps.
+	Reads uint64
+}
+
+// New creates a dom0 model.
+func New(cfg Config, rand *sim.Rand) *Dom0 {
+	return &Dom0{cfg: cfg, rand: rand}
+}
+
+// ReadVMStats returns the latency of one monitoring sweep over nVMs
+// guests under the given background workload: per-VM libxl reads plus
+// queueing delays behind I/O forwarding. This is the operation VCPU-Bal
+// performs centrally, growing linearly with VM count.
+func (d *Dom0) ReadVMStats(nVMs int, w Workload) sim.Time {
+	if nVMs <= 0 {
+		return 0
+	}
+	d.Reads++
+	var total sim.Time
+	for i := 0; i < nVMs; i++ {
+		// Base cost with mild per-read jitter (±10%).
+		base := d.cfg.PerVMReadCost
+		jitter := sim.Time(float64(base) * 0.1 * (2*d.rand.Float64() - 1))
+		total += base + jitter
+		total += d.queueDelay(w)
+	}
+	return total
+}
+
+// queueDelay samples the extra delay one read suffers behind dom0 I/O.
+func (d *Dom0) queueDelay(w Workload) sim.Time {
+	var prob, mean, sigma float64
+	switch w {
+	case Idle:
+		return 0
+	case DiskIO:
+		prob, mean, sigma = d.cfg.DiskBusyProb, d.cfg.DiskDelayMean, d.cfg.DiskDelaySigma
+	case NetworkIO:
+		prob, mean, sigma = d.cfg.NetBusyProb, d.cfg.NetDelayMean, d.cfg.NetDelaySigma
+	default:
+		return 0
+	}
+	if d.rand.Float64() >= prob {
+		return 0
+	}
+	return sim.FromMicros(mean * d.rand.LogNormal(0, sigma))
+}
+
+// HotplugVCPU returns the latency of the dom0-driven vCPU reconfiguration
+// path used by VCPU-Bal: a XenStore write (dom0→domU via XenBus) plus the
+// guest's CPU hotplug operation, sampled from the given kernel model.
+// Compare with the vScale balancer's 2.1 µs master cost.
+func (d *Dom0) HotplugVCPU(kernel costmodel.HotplugModel, online bool) sim.Time {
+	lat := costmodel.XenStoreWrite
+	if online {
+		lat += kernel.DrawUp(d.rand)
+	} else {
+		lat += kernel.DrawDown(d.rand)
+	}
+	return lat
+}

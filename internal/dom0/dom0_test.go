@@ -1,0 +1,104 @@
+package dom0
+
+import (
+	"testing"
+
+	"vscale/internal/costmodel"
+	"vscale/internal/sim"
+)
+
+func TestReadScalesLinearlyWithVMs(t *testing.T) {
+	d := New(DefaultConfig(), sim.NewRand(1))
+	avg := func(n int) sim.Time {
+		var sum sim.Time
+		const reps = 200
+		for i := 0; i < reps; i++ {
+			sum += d.ReadVMStats(n, Idle)
+		}
+		return sum / reps
+	}
+	a1, a10, a50 := avg(1), avg(10), avg(50)
+	// ~480µs per VM when idle.
+	if a1 < 400*sim.Microsecond || a1 > 560*sim.Microsecond {
+		t.Fatalf("1-VM read = %v, want ~480µs", a1)
+	}
+	r10 := float64(a10) / float64(a1)
+	r50 := float64(a50) / float64(a1)
+	if r10 < 8 || r10 > 12 || r50 < 42 || r50 > 58 {
+		t.Fatalf("not linear: 10VM ratio %.1f, 50VM ratio %.1f", r10, r50)
+	}
+}
+
+func TestIOLoadInflatesMonitoring(t *testing.T) {
+	d := New(DefaultConfig(), sim.NewRand(2))
+	avg := func(w Workload) (sim.Time, sim.Time) {
+		var sum, max sim.Time
+		const reps = 500
+		for i := 0; i < reps; i++ {
+			v := d.ReadVMStats(50, w)
+			sum += v
+			if v > max {
+				max = v
+			}
+		}
+		return sum / reps, max
+	}
+	idleAvg, _ := avg(Idle)
+	diskAvg, _ := avg(DiskIO)
+	netAvg, netMax := avg(NetworkIO)
+	if !(idleAvg < diskAvg && diskAvg < netAvg) {
+		t.Fatalf("ordering wrong: idle %v disk %v net %v", idleAvg, diskAvg, netAvg)
+	}
+	// Paper: with network I/O, reading 50 VMs takes >6ms on average with
+	// maxima approaching 30ms.
+	if netAvg < 6*sim.Millisecond {
+		t.Fatalf("net avg = %v, want > 6ms", netAvg)
+	}
+	if netMax < 15*sim.Millisecond {
+		t.Fatalf("net max = %v, want tens of ms", netMax)
+	}
+}
+
+func TestChannelBeatsDom0ByOrdersOfMagnitude(t *testing.T) {
+	// The decentralised vScale channel (0.91µs) vs the cheapest possible
+	// dom0 sweep (1 VM, idle): >400x.
+	d := New(DefaultConfig(), sim.NewRand(3))
+	cheapest := d.ReadVMStats(1, Idle)
+	if cheapest < 400*costmodel.ChannelRead {
+		t.Fatalf("dom0 %v vs channel %v: expected >400x gap", cheapest, costmodel.ChannelRead)
+	}
+}
+
+func TestHotplugPathLatency(t *testing.T) {
+	d := New(DefaultConfig(), sim.NewRand(4))
+	m, _ := costmodel.HotplugModelFor("v-3.14.15")
+	var on, off sim.Time
+	const n = 200
+	for i := 0; i < n; i++ {
+		on += d.HotplugVCPU(m, true)
+		off += d.HotplugVCPU(m, false)
+	}
+	on /= n
+	off /= n
+	if on < costmodel.XenStoreWrite {
+		t.Fatal("online path must include the XenStore write")
+	}
+	// Removing a vCPU through dom0 is milliseconds; the vScale balancer
+	// is 2.1µs on the master — the paper's 100x-100,000x headline.
+	if off < 2*sim.Millisecond {
+		t.Fatalf("offline path = %v, want ms-scale", off)
+	}
+}
+
+func TestDegenerateInputs(t *testing.T) {
+	d := New(DefaultConfig(), sim.NewRand(5))
+	if d.ReadVMStats(0, NetworkIO) != 0 {
+		t.Fatal("0 VMs should cost nothing")
+	}
+	if d.ReadVMStats(-3, Idle) != 0 {
+		t.Fatal("negative VMs should cost nothing")
+	}
+	if Workload(9).String() == "" {
+		t.Fatal("unknown workload format")
+	}
+}

@@ -1,0 +1,160 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vscale/internal/costmodel"
+	"vscale/internal/guest"
+	"vscale/internal/report"
+	"vscale/internal/scenario"
+	"vscale/internal/sim"
+	"vscale/internal/workload"
+	"vscale/internal/workload/npb"
+	"vscale/internal/xen"
+)
+
+// AblationResult compares execution times of one NPB app across design
+// variants of vScale.
+type AblationResult struct {
+	Name     string
+	App      string
+	Variants []string
+	Exec     []sim.Time
+	Wait     []sim.Time
+}
+
+// Render produces the ablation table.
+func (r AblationResult) Render() string {
+	t := report.NewTable(fmt.Sprintf("Ablation %s (%s)", r.Name, r.App),
+		"variant", "exec (s)", "VM wait (s)")
+	for i, v := range r.Variants {
+		t.AddRow(v, fmt.Sprintf("%.2f", r.Exec[i].Seconds()), fmt.Sprintf("%.2f", r.Wait[i].Seconds()))
+	}
+	return t.String()
+}
+
+func runVariant(app string, spin uint64, mod func(*scenario.Setup)) (sim.Time, sim.Time) {
+	s := scenario.DefaultSetup()
+	s.Mode = scenario.VScale
+	if mod != nil {
+		mod(&s)
+	}
+	b := scenario.Build(s)
+	p, err := npb.ProfileFor(app)
+	if err != nil {
+		panic(err)
+	}
+	res := b.RunApp(func(k *guest.Kernel) *workload.App {
+		return npb.Launch(k, p, s.VMVCPUs, guest.SpinBudgetFromCount(spin))
+	}, 600*sim.Second)
+	return res.ExecTime, res.WaitTime
+}
+
+// AblationWeightOnly (A1): vScale's consumption-aware extendability vs
+// the VCPU-Bal weight-only sizing. The comparison runs with a light
+// background: weight-only sizing pins the VM to its weight-based fair
+// share even when the machine is mostly idle, forfeiting the slack that
+// work-conserving schedulers would hand out.
+func AblationWeightOnly(app string) AblationResult {
+	r := AblationResult{Name: "A1: consumption-aware vs weight-only sizing (light background)", App: app,
+		Variants: []string{"vScale (consumption-aware)", "VCPU-Bal (weight-only)", "Xen/Linux (fixed vCPUs)"}}
+	light := func(s *scenario.Setup) { s.LightBackground = true }
+	e, w := runVariant(app, 30_000_000_000, light)
+	r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+	e, w = runVariant(app, 30_000_000_000, func(s *scenario.Setup) { light(s); s.WeightOnly = true })
+	r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+	e, w = runVariant(app, 30_000_000_000, func(s *scenario.Setup) { light(s); s.Mode = scenario.Baseline })
+	r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+	return r
+}
+
+// AblationHotplugPath (A2): the vScale balancer (µs) vs dom0-driven CPU
+// hotplug (ms to 100+ ms) as the reconfiguration mechanism. The
+// comparison uses fast-flickering background VMs (pictures every few
+// hundred ms): a reconfiguration knob slower than the load's time
+// constant cannot track it, which is exactly why VCPU-Bal could only
+// simulate dynamic vCPUs.
+func AblationHotplugPath(app string) AblationResult {
+	r := AblationResult{Name: "A2: vScale balancer vs CPU-hotplug reconfiguration (fast-changing load)", App: app,
+		Variants: []string{"vScale balancer (µs)", "dom0 hotplug path (ms-100ms)"}}
+	flicker := &workload.Slideshow{
+		BurstMin: 100 * sim.Millisecond, BurstMax: 250 * sim.Millisecond,
+		IdleMin: 80 * sim.Millisecond, IdleMax: 200 * sim.Millisecond,
+		Threads: 2,
+	}
+	fast := func(s *scenario.Setup) { s.Background = flicker }
+	e, w := runVariant(app, 30_000_000_000, fast)
+	r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+	model, _ := costmodel.HotplugModelFor("v-2.6.32")
+	e, w = runVariant(app, 30_000_000_000, func(s *scenario.Setup) {
+		fast(s)
+		s.ReconfigDelay = func(rand *sim.Rand) sim.Time {
+			return costmodel.XenStoreWrite + model.DrawDown(rand)
+		}
+	})
+	r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+	return r
+}
+
+// AblationDaemonPeriod (A3): sensitivity to the daemon poll period.
+func AblationDaemonPeriod(app string, periods []sim.Time) AblationResult {
+	if periods == nil {
+		periods = []sim.Time{sim.Millisecond, 10 * sim.Millisecond, 100 * sim.Millisecond, sim.Second}
+	}
+	r := AblationResult{Name: "A3: daemon period sensitivity", App: app}
+	for _, p := range periods {
+		p := p
+		r.Variants = append(r.Variants, fmt.Sprintf("period %v", p))
+		e, w := runVariant(app, 30_000_000_000, func(s *scenario.Setup) { s.DaemonPeriod = p })
+		r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+	}
+	return r
+}
+
+// AblationPerVMWeight (A4): the paper's per-VM weight patch vs unpatched
+// Xen's per-vCPU weights, which make a VM forfeit share when freezing.
+func AblationPerVMWeight(app string) AblationResult {
+	r := AblationResult{Name: "A4: per-VM weight (vScale patch) vs per-vCPU weight (unpatched)", App: app,
+		Variants: []string{"per-VM weight", "per-vCPU weight"}}
+	e, w := runVariant(app, 30_000_000_000, nil)
+	r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+	e, w = runVariant(app, 30_000_000_000, func(s *scenario.Setup) { s.PerVCPUWeight = true })
+	r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+	return r
+}
+
+// AblationSchedulerGenerality (A6): the paper claims Algorithm 1 "can be
+// easily integrated into various proportional-share schedulers, such as
+// the virtual-runtime based ones". This ablation runs the identical
+// vScale stack on the credit scheduler and on the VRT scheduler; the
+// speedup over each scheduler's own baseline should hold for both.
+func AblationSchedulerGenerality(app string) AblationResult {
+	r := AblationResult{Name: "A6: vScale on credit vs virtual-runtime scheduling", App: app,
+		Variants: []string{
+			"credit: Xen/Linux", "credit: vScale",
+			"vrt: Xen/Linux", "vrt: vScale",
+		}}
+	for _, pol := range []xen.SchedPolicy{xen.PolicyCredit, xen.PolicyVRT} {
+		for _, mode := range []scenario.Mode{scenario.Baseline, scenario.VScale} {
+			pol, mode := pol, mode
+			e, w := runVariant(app, 30_000_000_000, func(s *scenario.Setup) {
+				s.Policy = pol
+				s.Mode = mode
+			})
+			r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+		}
+	}
+	return r
+}
+
+// AblationCeilMargin (A5): the governor's fragmentation margin vs the
+// paper's pure ceiling.
+func AblationCeilMargin(app string) AblationResult {
+	r := AblationResult{Name: "A5: sizing ceiling: fragmentation margin vs pure ceil", App: app,
+		Variants: []string{"margin 0.55 (default)", "pure ceil (Algorithm 1)"}}
+	e, w := runVariant(app, 30_000_000_000, nil)
+	r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+	e, w = runVariant(app, 30_000_000_000, func(s *scenario.Setup) { s.PureCeil = true })
+	r.Exec, r.Wait = append(r.Exec, e), append(r.Wait, w)
+	return r
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vscale/internal/guest"
+	"vscale/internal/report"
+	"vscale/internal/scenario"
+	"vscale/internal/sim"
+	"vscale/internal/workload"
+	"vscale/internal/workload/npb"
+)
+
+// ExtensionResult compares a fixed OpenMP team with the §7 future-work
+// adaptive team that resizes itself to the active vCPU count between
+// parallel regions.
+type ExtensionResult struct {
+	App       string
+	FixedExec sim.Time
+	Adapted   sim.Time
+	FixedSpin sim.Time
+	AdaptSpin sim.Time
+	FixedWait sim.Time
+	AdaptWait sim.Time
+}
+
+// ExtensionAdaptiveTeam runs the comparison under vScale with heavy
+// user-level spinning — the regime where surplus spinners on a shrunken
+// VM hurt the most.
+func ExtensionAdaptiveTeam(app string) ExtensionResult {
+	p, err := npb.ProfileFor(app)
+	if err != nil {
+		panic(err)
+	}
+	res := ExtensionResult{App: app}
+	run := func(adaptive bool) (sim.Time, sim.Time, sim.Time) {
+		s := scenario.DefaultSetup()
+		s.Mode = scenario.VScale
+		b := scenario.Build(s)
+		r := b.RunApp(func(k *guest.Kernel) *workload.App {
+			budget := guest.SpinBudgetFromCount(30_000_000_000)
+			if adaptive {
+				return npb.AdaptiveLaunch(k, p, s.VMVCPUs, budget)
+			}
+			return npb.Launch(k, p, s.VMVCPUs, budget)
+		}, 600*sim.Second)
+		var spin sim.Time
+		for i := 0; i < b.K.NCPUs(); i++ {
+			spin += b.K.CPUStatsOf(i).UserSpinTime
+		}
+		return r.ExecTime, spin, r.WaitTime
+	}
+	res.FixedExec, res.FixedSpin, res.FixedWait = run(false)
+	res.Adapted, res.AdaptSpin, res.AdaptWait = run(true)
+	return res
+}
+
+// Render produces the comparison table.
+func (r ExtensionResult) Render() string {
+	t := report.NewTable(
+		fmt.Sprintf("Extension (§7): vScale-aware adaptive OpenMP team (%s, spin=30B, vScale host)", r.App),
+		"team", "exec (s)", "user spin (s)", "VM wait (s)")
+	t.AddRow("fixed (online vCPUs at start)",
+		fmt.Sprintf("%.2f", r.FixedExec.Seconds()),
+		fmt.Sprintf("%.2f", r.FixedSpin.Seconds()),
+		fmt.Sprintf("%.2f", r.FixedWait.Seconds()))
+	t.AddRow("adaptive (active vCPUs per region)",
+		fmt.Sprintf("%.2f", r.Adapted.Seconds()),
+		fmt.Sprintf("%.2f", r.AdaptSpin.Seconds()),
+		fmt.Sprintf("%.2f", r.AdaptWait.Seconds()))
+	return t.String()
+}

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+
+	"vscale/internal/guest"
+	"vscale/internal/report"
+	"vscale/internal/scenario"
+	"vscale/internal/sim"
+	"vscale/internal/workload"
+	"vscale/internal/workload/parsec"
+)
+
+// ParsecRun is one (app, mode) measurement.
+type ParsecRun struct {
+	App      string
+	Mode     scenario.Mode
+	Exec     sim.Time
+	Wait     sim.Time
+	IPIRate  float64
+	AvgVCPUs float64
+}
+
+// ParsecResult holds a PARSEC sweep (Figure 11 for 4 vCPUs, Figure 12
+// for 8), with Figure 13 derivable from the baseline runs.
+type ParsecResult struct {
+	VMVCPUs int
+	Apps    []string
+	Runs    map[string]map[scenario.Mode]ParsecRun
+}
+
+// ParsecSweep runs apps × modes on a VM with the given vCPU count.
+// freqmine (the OpenMP member) uses the default 300K spin count.
+func ParsecSweep(vcpus int, apps []string, modes []scenario.Mode) ParsecResult {
+	if apps == nil {
+		apps = parsec.Names()
+	}
+	if modes == nil {
+		modes = scenario.Modes()
+	}
+	out := ParsecResult{VMVCPUs: vcpus, Apps: apps,
+		Runs: make(map[string]map[scenario.Mode]ParsecRun)}
+	for _, app := range apps {
+		out.Runs[app] = make(map[scenario.Mode]ParsecRun)
+		for _, m := range modes {
+			out.Runs[app][m] = runParsecOnce(app, m, vcpus, 1)
+		}
+	}
+	return out
+}
+
+func runParsecOnce(app string, mode scenario.Mode, vcpus int, seed uint64) ParsecRun {
+	s := scenario.DefaultSetup()
+	s.Mode = mode
+	s.VMVCPUs = vcpus
+	s.Seed = seed
+	b := scenario.Build(s)
+	p, err := parsec.ProfileFor(app)
+	if err != nil {
+		panic(err)
+	}
+	res := b.RunApp(func(k *guest.Kernel) *workload.App {
+		return parsec.Launch(k, p, vcpus, guest.SpinBudgetFromCount(300_000))
+	}, 600*sim.Second)
+	return ParsecRun{
+		App: app, Mode: mode,
+		Exec: res.ExecTime, Wait: res.WaitTime,
+		IPIRate: res.IPIsPerVCPUSec, AvgVCPUs: res.AvgActiveVCPUs,
+	}
+}
+
+// Normalized returns exec(app, mode)/exec(app, Baseline).
+func (r ParsecResult) Normalized(app string, mode scenario.Mode) float64 {
+	base := r.Runs[app][scenario.Baseline].Exec
+	if base == 0 {
+		return 0
+	}
+	return float64(r.Runs[app][mode].Exec) / float64(base)
+}
+
+// RenderFigure produces the Figure 11/12 table.
+func (r ParsecResult) RenderFigure() string {
+	fig := "Figure 11"
+	if r.VMVCPUs == 8 {
+		fig = "Figure 12"
+	}
+	t := report.NewTable(
+		fmt.Sprintf("%s: PARSEC normalized execution time, %d-vCPU VM", fig, r.VMVCPUs),
+		"app", "Xen/Linux", "vScale", "Xen/Linux+pvlock", "vScale+pvlock")
+	for _, app := range r.Apps {
+		t.AddRow(app,
+			fmt.Sprintf("%.2f", r.Normalized(app, scenario.Baseline)),
+			fmt.Sprintf("%.2f", r.Normalized(app, scenario.VScale)),
+			fmt.Sprintf("%.2f", r.Normalized(app, scenario.PVLock)),
+			fmt.Sprintf("%.2f", r.Normalized(app, scenario.VScalePVLock)))
+	}
+	return t.String()
+}
+
+// RenderFigure13 produces the per-app IPI-rate table of Figure 13
+// (baseline runs).
+func (r ParsecResult) RenderFigure13() string {
+	t := report.NewTable("Figure 13: vIPIs/sec/vCPU in PARSEC (Xen/Linux)",
+		"app", "IPIs/s/vCPU")
+	for _, app := range r.Apps {
+		t.AddRow(app, fmt.Sprintf("%.1f", r.Runs[app][scenario.Baseline].IPIRate))
+	}
+	return t.String()
+}

@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"testing"
+
+	"vscale/internal/scenario"
+)
+
+// Regression test: a pv-parked vCPU woken by an unrelated event (the
+// vScale freeze IPI, a timer, a device interrupt) must re-park until the
+// lock holder kicks it. Before the fix, the spurious wakeup ran the
+// stashed lock continuation without the grant and released a kernel lock
+// the CPU never held, crashing the vScale+pvlock PARSEC sweep.
+func TestPVParkSurvivesFreezeIPIs(t *testing.T) {
+	for _, app := range []string{"canneal", "facesim", "dedup"} {
+		r := runParsecOnce(app, scenario.VScalePVLock, 4, 1)
+		if r.Exec == 0 {
+			t.Fatalf("%s did not complete under vScale+pvlock", app)
+		}
+	}
+}

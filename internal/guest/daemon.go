@@ -1,0 +1,162 @@
+package guest
+
+import (
+	"vscale/internal/core"
+	"vscale/internal/costmodel"
+)
+
+// daemon is the vScale user-space daemon: a real-time task pinned to
+// vCPU0 that polls the VM's CPU extendability through the vScale channel
+// every period and instructs the balancer to freeze or unfreeze vCPUs.
+// It is modelled as periodic highest-priority work on vCPU0 (the paper
+// runs it in the RT scheduling class, which likewise preempts all
+// fair-share threads), so its per-period cost lands on vCPU0 exactly as
+// in Table 1.
+type daemon struct {
+	k   *Kernel
+	gov *core.Governor
+
+	// reconfiguring marks an in-flight slow reconfiguration (the
+	// hotplug-path ablation); new decisions are skipped meanwhile.
+	reconfiguring bool
+
+	// Reads counts channel polls, Decisions counts reconcile actions.
+	Reads, Decisions uint64
+}
+
+func newDaemon(k *Kernel) *daemon {
+	cfg := k.cfg.VScale
+	min := cfg.MinVCPUs
+	if min < 1 {
+		min = 1
+	}
+	return &daemon{
+		k:   k,
+		gov: core.NewGovernor(min, k.NCPUs(), k.NCPUs(), cfg.DownHysteresis),
+	}
+}
+
+func (d *daemon) start() {
+	d.schedule()
+}
+
+func (d *daemon) schedule() {
+	k := d.k
+	period := k.cfg.VScale.Period
+	if period <= 0 {
+		period = 10 * 1000 * 1000 // 10 ms
+	}
+	k.addTimer(k.cpus[0], k.eng.Now()+period, func() {
+		d.poll()
+		d.schedule()
+	})
+}
+
+// poll reads the vScale channel (syscall + hypercall, Table 1) and
+// reconciles the active-vCPU count with the governor's target.
+func (d *daemon) poll() {
+	k := d.k
+	master := k.cpus[0]
+	d.Reads++
+	k.chargeInterrupt(master, costmodel.ChannelRead)
+	ext := k.dom.HypercallGetVScaleInfo()
+	if ext.OptimalVCPUs == 0 {
+		return // extension has not ticked yet
+	}
+	optimal := ext.OptimalVCPUs
+	period := k.dom.Pool().Config().VScalePeriod
+	if !k.cfg.VScale.UsePureCeil {
+		margin := k.cfg.VScale.CeilMargin
+		optimal = core.OptimalWithMargin(ext.Extend, period, margin, k.NCPUs())
+	}
+	if k.cfg.VScale.WeightOnly {
+		// VCPU-Bal policy (ablation A1): size from the weight-based fair
+		// share only, ignoring consumption-derived slack.
+		optimal = int((ext.FairShare + period - 1) / period)
+		if optimal < 1 {
+			optimal = 1
+		}
+	}
+	// Re-sync only if someone else changed the vCPU count (ForceCurrent
+	// resets the down-hysteresis, so it must not run on every poll).
+	if d.gov.Current() != k.ActiveVCPUs() && !d.reconfiguring {
+		d.gov.ForceCurrent(k.ActiveVCPUs())
+	}
+	target := d.gov.Observe(optimal)
+	d.reconcile(target)
+}
+
+// reconcile freezes the highest-numbered active vCPUs or unfreezes the
+// lowest-numbered frozen ones until the active count matches target.
+func (d *daemon) reconcile(target int) {
+	k := d.k
+	if d.reconfiguring {
+		return
+	}
+	if delay := k.cfg.VScale.ReconfigDelay; delay != nil && k.ActiveVCPUs() != target {
+		// Hotplug-path ablation: apply one reconfiguration step after
+		// the sampled latency, then allow the next decision.
+		d.reconfiguring = true
+		d.Decisions++
+		k.eng.After(delay(k.rand), "guest/slow-reconfig", func() {
+			d.reconfiguring = false
+			if k.ActiveVCPUs() > target {
+				for i := k.NCPUs() - 1; i >= 1; i-- {
+					if !k.Frozen(i) {
+						_ = k.FreezeVCPU(i)
+						break
+					}
+				}
+			} else if k.ActiveVCPUs() < target {
+				for i := 1; i < k.NCPUs(); i++ {
+					if k.Frozen(i) {
+						_ = k.UnfreezeVCPU(i)
+						break
+					}
+				}
+			}
+			d.gov.ForceCurrent(k.ActiveVCPUs())
+		})
+		return
+	}
+	for k.ActiveVCPUs() > target {
+		victim := -1
+		for i := k.NCPUs() - 1; i >= 1; i-- {
+			if !k.Frozen(i) {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 {
+			return
+		}
+		if err := k.FreezeVCPU(victim); err != nil {
+			return
+		}
+		d.Decisions++
+	}
+	for k.ActiveVCPUs() < target {
+		cand := -1
+		for i := 1; i < k.NCPUs(); i++ {
+			if k.Frozen(i) {
+				cand = i
+				break
+			}
+		}
+		if cand < 0 {
+			return
+		}
+		if err := k.UnfreezeVCPU(cand); err != nil {
+			return
+		}
+		d.Decisions++
+	}
+}
+
+// DaemonStats reports daemon activity (zero values when disabled).
+func (k *Kernel) DaemonStats() (reads, decisions uint64) {
+	if k.daemon == nil {
+		return 0, 0
+	}
+	return k.daemon.Reads, k.daemon.Decisions
+}

@@ -1,0 +1,80 @@
+package hotplug
+
+import (
+	"testing"
+
+	"vscale/internal/sim"
+)
+
+func TestSamplerVersions(t *testing.T) {
+	if len(Versions()) != 4 {
+		t.Fatalf("versions = %v, want the paper's four kernels", Versions())
+	}
+	if _, err := NewSampler("v-0.1", sim.NewRand(1)); err == nil {
+		t.Fatal("unknown version must error")
+	}
+}
+
+func TestPhaseBreakdownSumsToTotal(t *testing.T) {
+	s, err := NewSampler("v-3.14.15", sim.NewRand(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		for _, op := range []Op{s.Remove(), s.Add()} {
+			var sum sim.Time
+			for _, d := range op.Phases {
+				if d < 0 {
+					t.Fatal("negative phase duration")
+				}
+				sum += d
+			}
+			if sum != op.Total {
+				t.Fatalf("phase sum %v != total %v", sum, op.Total)
+			}
+			if op.Phases[PhaseStopMachine] < op.Phases[PhasePrepare] {
+				t.Fatal("stop_machine should dominate the breakdown")
+			}
+		}
+	}
+}
+
+func TestLatencyBandsMatchFigure5(t *testing.T) {
+	r := sim.NewRand(3)
+	for _, v := range Versions() {
+		s, err := NewSampler(v, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var removeSum, addSum sim.Time
+		const n = 300
+		for i := 0; i < n; i++ {
+			removeSum += s.Remove().Total
+			addSum += s.Add().Total
+		}
+		removeAvg := removeSum / n
+		addAvg := addSum / n
+		// Removal: a few ms to >100ms in the paper.
+		if removeAvg < 2*sim.Millisecond || removeAvg > 150*sim.Millisecond {
+			t.Fatalf("%s: remove avg %v outside the paper's band", v, removeAvg)
+		}
+		if v == "v-3.14.15" {
+			if addAvg > sim.Millisecond {
+				t.Fatalf("3.14.15 add avg %v, paper says 350-500µs at best", addAvg)
+			}
+		} else if addAvg < 2*sim.Millisecond {
+			t.Fatalf("%s: add avg %v, paper says tens of ms", v, addAvg)
+		}
+	}
+}
+
+func TestPhaseStrings(t *testing.T) {
+	for p := PhasePrepare; p <= PhaseDead; p++ {
+		if p.String() == "" {
+			t.Fatal("empty phase name")
+		}
+	}
+	if Phase(99).String() != "Phase(99)" {
+		t.Fatal("unknown phase format")
+	}
+}

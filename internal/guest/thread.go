@@ -1,0 +1,396 @@
+package guest
+
+import (
+	"fmt"
+
+	"vscale/internal/sim"
+)
+
+// ThreadKind classifies schedulable entities (paper Figure 3).
+type ThreadKind int
+
+// Thread kinds.
+const (
+	// Uthread is a user-level thread; always migratable.
+	Uthread ThreadKind = iota
+	// KthreadSystem is a system-wide kernel thread (rcu_sched, kauditd,
+	// ext4 daemons); migratable.
+	KthreadSystem
+	// KthreadPerCPU is a per-CPU kernel thread (ksoftirqd, kworker,
+	// swapper); NOT migratable — vScale leaves them parked, and they go
+	// quiescent once nothing drives them.
+	KthreadPerCPU
+)
+
+func (kk ThreadKind) String() string {
+	switch kk {
+	case Uthread:
+		return "uthread"
+	case KthreadSystem:
+		return "kthread-system"
+	case KthreadPerCPU:
+		return "kthread-percpu"
+	default:
+		return fmt.Sprintf("ThreadKind(%d)", int(kk))
+	}
+}
+
+// Migratable reports whether load balancing and vScale may move the
+// thread across vCPUs.
+func (kk ThreadKind) Migratable() bool { return kk != KthreadPerCPU }
+
+// ThreadState is the scheduler state of a guest thread.
+type ThreadState int
+
+// Thread states.
+const (
+	// ThreadRunnable: queued on some CPU's runqueue.
+	ThreadRunnable ThreadState = iota
+	// ThreadRunning: currently executing on a CPU.
+	ThreadRunning
+	// ThreadSleeping: blocked (futex, condvar, I/O, timed sleep).
+	ThreadSleeping
+	// ThreadExited: the program returned ActExit.
+	ThreadExited
+)
+
+func (s ThreadState) String() string {
+	switch s {
+	case ThreadRunnable:
+		return "runnable"
+	case ThreadRunning:
+		return "running"
+	case ThreadSleeping:
+		return "sleeping"
+	case ThreadExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("ThreadState(%d)", int(s))
+	}
+}
+
+// segKind classifies what the current execution segment represents.
+type segKind int
+
+const (
+	segWork segKind = iota
+	segUserSpin
+	segKernelSpin
+)
+
+// Program is a workload state machine: the kernel calls Next each time
+// the previous action completed, and executes the returned action on the
+// thread. Programs run strictly single-threaded per Thread.
+type Program interface {
+	Next(t *Thread) Action
+}
+
+// ProgramFunc adapts a function to the Program interface.
+type ProgramFunc func(t *Thread) Action
+
+// Next implements Program.
+func (f ProgramFunc) Next(t *Thread) Action { return f(t) }
+
+// Action is one step of a Program. Exactly the types in this package
+// implement it.
+type Action interface{ isAction() }
+
+// ActCompute runs D of pure CPU work.
+type ActCompute struct{ D sim.Time }
+
+// ActExit terminates the thread.
+type ActExit struct{}
+
+// ActSleep blocks the thread for D (timer wakeup).
+type ActSleep struct{ D sim.Time }
+
+// ActBarrierWait joins an OpenMP-style barrier (spin-then-futex
+// according to the barrier's spin budget).
+type ActBarrierWait struct{ B *Barrier }
+
+// ActLock acquires a futex-based mutex (user fast path; kernel slow path
+// with bucket spinlock on contention).
+type ActLock struct{ M *Mutex }
+
+// ActUnlock releases a mutex, waking one waiter if present.
+type ActUnlock struct{ M *Mutex }
+
+// ActCondWait atomically releases M and sleeps on C; on wakeup it
+// re-acquires M before completing.
+type ActCondWait struct {
+	C *Cond
+	M *Mutex
+}
+
+// ActCondSignal wakes one waiter of C.
+type ActCondSignal struct{ C *Cond }
+
+// ActCondBroadcast wakes all waiters of C.
+type ActCondBroadcast struct{ C *Cond }
+
+// ActSpinWait busy-waits (pure user-level spinning, no futex fallback —
+// the ad-hoc synchronisation of NPB's lu) until S's generation reaches
+// Gen.
+type ActSpinWait struct {
+	S   *SpinVar
+	Gen uint64
+}
+
+// ActSpinSet advances S's generation, releasing spinners waiting for it.
+type ActSpinSet struct{ S *SpinVar }
+
+// ActIO submits an I/O of the given service time on a Device and blocks
+// until its completion interrupt is processed.
+type ActIO struct {
+	Dev     *Device
+	Service sim.Time
+}
+
+func (ActCompute) isAction()       {}
+func (ActExit) isAction()          {}
+func (ActSleep) isAction()         {}
+func (ActBarrierWait) isAction()   {}
+func (ActLock) isAction()          {}
+func (ActUnlock) isAction()        {}
+func (ActCondWait) isAction()      {}
+func (ActCondSignal) isAction()    {}
+func (ActCondBroadcast) isAction() {}
+func (ActSpinWait) isAction()      {}
+func (ActSpinSet) isAction()       {}
+func (ActIO) isAction()            {}
+
+// spinWait tracks an in-progress user-level spin.
+type spinWait struct {
+	v         *SpinVar
+	targetGen uint64
+	satisfied bool
+	futexNext bool // fall back to futex when the budget expires (barriers)
+}
+
+// Thread is one schedulable guest entity.
+type Thread struct {
+	k    *Kernel
+	id   int
+	Name string
+	Kind ThreadKind
+
+	state ThreadState
+	cpu   int // current/last CPU
+
+	prog    Program
+	pending Action
+	phase   int
+
+	segRemaining sim.Time
+	segKind      segKind
+
+	spin         *spinWait
+	kspinGranted bool
+	// wakePreempt marks a freshly woken thread that may preempt the
+	// running one (CFS wakeup preemption); cleared when picked.
+	wakePreempt bool
+	// kcont is a stashed kernel continuation: it runs when the current
+	// segment completes (contended-lock grants and critical sections).
+	kcont func()
+
+	// Mailbox receives the item taken by ActDequeue.
+	Mailbox any
+
+	// onExit runs when the thread exits (harness completion tracking).
+	onExit func(*Thread)
+
+	// Stats.
+	CPUTime  sim.Time
+	StartAt  sim.Time
+	ExitAt   sim.Time
+	Sleeps   uint64
+	WakeUps  uint64
+	Migrated uint64
+}
+
+// inKernelCritical reports that the thread is inside a kernel critical
+// section (a pending lock continuation or a just-granted kernel lock).
+// Such threads are neither rotated nor migrated — the kernel runs
+// spinlock critical sections with preemption disabled, and the stashed
+// continuations are bound to the executing CPU.
+func (t *Thread) inKernelCritical() bool { return t.kcont != nil || t.kspinGranted }
+
+// ID returns the thread id.
+func (t *Thread) ID() int { return t.id }
+
+// State returns the scheduler state.
+func (t *Thread) State() ThreadState { return t.state }
+
+// CPU returns the thread's current (or last) CPU.
+func (t *Thread) CPU() int { return t.cpu }
+
+// Kernel returns the owning kernel.
+func (t *Thread) Kernel() *Kernel { return t.k }
+
+// Rand returns the kernel PRNG (for program jitter).
+func (t *Thread) Rand() *sim.Rand { return t.k.rand }
+
+// Spawn creates a thread running prog and enqueues it (fork balance). It
+// may be called before Boot; threads start once vCPU0 is kicked.
+func (k *Kernel) Spawn(name string, kind ThreadKind, prog Program, onExit func(*Thread)) *Thread {
+	t := &Thread{
+		k:       k,
+		id:      k.nextTID,
+		Name:    name,
+		Kind:    kind,
+		prog:    prog,
+		onExit:  onExit,
+		StartAt: k.eng.Now(),
+		state:   ThreadRunnable,
+	}
+	k.nextTID++
+	k.threads = append(k.threads, t)
+	target := k.selectCPU(t, -1)
+	t.cpu = target
+	k.enqueue(k.cpus[target], t, true)
+	return t
+}
+
+// SpawnPerCPUKthreads creates the classic per-CPU servants (quiescent
+// placeholders: they never enter a runqueue but appear in the thread
+// inventory and are refused migration).
+func (k *Kernel) SpawnPerCPUKthreads() {
+	for i := range k.cpus {
+		for _, name := range []string{"ksoftirqd", "kworker", "swapper"} {
+			t := &Thread{
+				k:       k,
+				id:      k.nextTID,
+				Name:    fmt.Sprintf("%s/%d", name, i),
+				Kind:    KthreadPerCPU,
+				state:   ThreadSleeping,
+				cpu:     i,
+				StartAt: k.eng.Now(),
+			}
+			k.nextTID++
+			k.threads = append(k.threads, t)
+		}
+	}
+}
+
+// Threads returns all threads ever spawned.
+func (k *Kernel) Threads() []*Thread { return k.threads }
+
+// advance executes the action state machine of thread t (current on c)
+// after its segment completed.
+func (k *Kernel) advance(c *cpu, t *Thread) {
+	if t.pending == nil {
+		k.fetch(c, t)
+		return
+	}
+	switch a := t.pending.(type) {
+	case ActCompute:
+		t.CPUTime += a.D
+		k.complete(c, t)
+	case ActExit:
+		panic("guest: ActExit should not reach advance")
+	case ActSleep:
+		// Phase 0: go to sleep; the timer wake re-queues the thread, and
+		// completion happens when it runs again (phase 1).
+		if t.phase == 0 {
+			t.phase = 1
+			at := k.eng.Now() + a.D
+			k.addTimer(c, at, func() { k.wakeThread(t, c.id) })
+			k.sleepCurrent(c, t)
+			return
+		}
+		k.complete(c, t)
+	case ActBarrierWait:
+		k.barrierAdvance(c, t, a.B)
+	case ActLock:
+		k.mutexLockAdvance(c, t, a.M)
+	case ActUnlock:
+		k.mutexUnlockAdvance(c, t, a.M)
+	case ActCondWait:
+		k.condWaitAdvance(c, t, a)
+	case ActCondSignal:
+		k.condSignalAdvance(c, t, a.C, false)
+	case ActCondBroadcast:
+		k.condSignalAdvance(c, t, a.C, true)
+	case ActSpinWait:
+		k.spinWaitAdvance(c, t, a)
+	case ActSpinSet:
+		k.spinSetAdvance(c, t, a.S)
+	case ActIO:
+		k.ioAdvance(c, t, a)
+	case ActDequeue:
+		k.dequeueAdvance(c, t, a.Q)
+	case ActEnqueue:
+		k.enqueueAdvance(c, t, a)
+	case ActCall:
+		k.callAdvance(c, t, a)
+	default:
+		panic(fmt.Sprintf("guest: unknown action %T", t.pending))
+	}
+}
+
+// fetch pulls the next action from the program and starts executing it.
+func (k *Kernel) fetch(c *cpu, t *Thread) {
+	a := t.prog.Next(t)
+	t.pending = a
+	t.phase = 0
+	switch a := a.(type) {
+	case ActCompute:
+		if a.D < 0 {
+			panic("guest: negative compute duration")
+		}
+		t.segRemaining = a.D
+		t.segKind = segWork
+		k.startSegment(c)
+	case ActExit:
+		k.exitThread(c, t)
+	default:
+		// All synchronisation actions begin with a zero-length segment
+		// so advance() runs them through their phase machines.
+		t.segRemaining = 0
+		t.segKind = segWork
+		k.startSegment(c)
+	}
+}
+
+// complete finishes the pending action and fetches the next one.
+func (k *Kernel) complete(c *cpu, t *Thread) {
+	t.pending = nil
+	t.phase = 0
+	k.fetch(c, t)
+}
+
+// exitThread retires t and invokes its completion callback.
+func (k *Kernel) exitThread(c *cpu, t *Thread) {
+	t.state = ThreadExited
+	t.ExitAt = k.eng.Now()
+	c.current = nil
+	if t.onExit != nil {
+		t.onExit(t)
+	}
+	k.pickNext(c)
+}
+
+// sleepCurrent blocks the current thread of c (it is off every queue)
+// and schedules the next one.
+func (k *Kernel) sleepCurrent(c *cpu, t *Thread) {
+	if c.current != t {
+		panic("guest: sleeping a non-current thread")
+	}
+	t.state = ThreadSleeping
+	t.Sleeps++
+	c.current = nil
+	k.pickNext(c)
+}
+
+// resumeSegmentCost restarts t with an immediate extra cost, used when
+// an action phase continues after a wakeup.
+func resumeSegmentCost(t *Thread, cost sim.Time) {
+	t.segRemaining = cost
+	t.segKind = segWork
+}
+
+// chargeAndContinue sets up the next micro-segment of the pending action.
+func (k *Kernel) chargeAndContinue(c *cpu, t *Thread, cost sim.Time) {
+	resumeSegmentCost(t, cost)
+	k.startSegment(c)
+}

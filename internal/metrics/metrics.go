@@ -1,0 +1,293 @@
+// Package metrics provides the measurement primitives used throughout
+// the vScale reproduction: counters, rate meters, streaming summaries,
+// exact-sample histograms/CDFs, and time-weighted gauges. All of them
+// operate on virtual time from internal/sim.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"vscale/internal/sim"
+)
+
+// Counter is a monotonically increasing event count.
+type Counter struct {
+	n uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n++ }
+
+// Add adds delta; negative deltas panic (counters are monotone).
+func (c *Counter) Add(delta uint64) { c.n += delta }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.n }
+
+// Reset zeroes the counter.
+func (c *Counter) Reset() { c.n = 0 }
+
+// Rate returns events per virtual second over the window [start, end].
+func (c *Counter) Rate(start, end sim.Time) float64 {
+	if end <= start {
+		return 0
+	}
+	return float64(c.n) / (end - start).Seconds()
+}
+
+// Summary accumulates scalar samples and exposes count/mean/min/max and
+// variance via Welford's algorithm. It does not retain samples.
+type Summary struct {
+	n        uint64
+	mean, m2 float64
+	min, max float64
+}
+
+// Observe records one sample.
+func (s *Summary) Observe(v float64) {
+	if s.n == 0 {
+		s.min, s.max = v, v
+	} else {
+		if v < s.min {
+			s.min = v
+		}
+		if v > s.max {
+			s.max = v
+		}
+	}
+	s.n++
+	d := v - s.mean
+	s.mean += d / float64(s.n)
+	s.m2 += d * (v - s.mean)
+}
+
+// Count returns the number of samples.
+func (s *Summary) Count() uint64 { return s.n }
+
+// Mean returns the sample mean (0 with no samples).
+func (s *Summary) Mean() float64 { return s.mean }
+
+// Min returns the smallest sample (0 with no samples).
+func (s *Summary) Min() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.min
+}
+
+// Max returns the largest sample (0 with no samples).
+func (s *Summary) Max() float64 {
+	if s.n == 0 {
+		return 0
+	}
+	return s.max
+}
+
+// Sum returns mean*count.
+func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+
+// Variance returns the population variance.
+func (s *Summary) Variance() float64 {
+	if s.n < 2 {
+		return 0
+	}
+	return s.m2 / float64(s.n)
+}
+
+// Stddev returns the population standard deviation.
+func (s *Summary) Stddev() float64 { return math.Sqrt(s.Variance()) }
+
+// Reset clears the summary.
+func (s *Summary) Reset() { *s = Summary{} }
+
+// String renders "n=…, mean=…, min=…, max=…".
+func (s *Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3f min=%.3f max=%.3f", s.n, s.Mean(), s.Min(), s.Max())
+}
+
+// Sample retains every observation for exact quantiles and CDF export.
+// The experiments retain at most a few hundred thousand samples, so the
+// memory cost is acceptable and exactness is preferred over sketches.
+type Sample struct {
+	vs     []float64
+	sorted bool
+}
+
+// Observe appends one value.
+func (s *Sample) Observe(v float64) {
+	s.vs = append(s.vs, v)
+	s.sorted = false
+}
+
+// Count returns the number of retained values.
+func (s *Sample) Count() int { return len(s.vs) }
+
+// Mean returns the arithmetic mean.
+func (s *Sample) Mean() float64 {
+	if len(s.vs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, v := range s.vs {
+		sum += v
+	}
+	return sum / float64(len(s.vs))
+}
+
+// Min returns the smallest retained value (0 if empty).
+func (s *Sample) Min() float64 {
+	s.sort()
+	if len(s.vs) == 0 {
+		return 0
+	}
+	return s.vs[0]
+}
+
+// Max returns the largest retained value (0 if empty).
+func (s *Sample) Max() float64 {
+	s.sort()
+	if len(s.vs) == 0 {
+		return 0
+	}
+	return s.vs[len(s.vs)-1]
+}
+
+func (s *Sample) sort() {
+	if !s.sorted {
+		sort.Float64s(s.vs)
+		s.sorted = true
+	}
+}
+
+// Quantile returns the q-quantile (0<=q<=1) using linear interpolation.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.vs) == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return s.Min()
+	}
+	if q >= 1 {
+		return s.Max()
+	}
+	s.sort()
+	pos := q * float64(len(s.vs)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s.vs[lo]
+	}
+	frac := pos - float64(lo)
+	return s.vs[lo]*(1-frac) + s.vs[hi]*frac
+}
+
+// CDF returns (value, cumulative fraction) pairs at up to points evenly
+// spaced ranks, suitable for plotting Figure-5-style curves.
+func (s *Sample) CDF(points int) []CDFPoint {
+	s.sort()
+	n := len(s.vs)
+	if n == 0 || points <= 0 {
+		return nil
+	}
+	if points > n {
+		points = n
+	}
+	out := make([]CDFPoint, 0, points)
+	for i := 1; i <= points; i++ {
+		idx := i*n/points - 1
+		out = append(out, CDFPoint{Value: s.vs[idx], Fraction: float64(idx+1) / float64(n)})
+	}
+	return out
+}
+
+// Values returns a copy of the retained values in sorted order.
+func (s *Sample) Values() []float64 {
+	s.sort()
+	out := make([]float64, len(s.vs))
+	copy(out, s.vs)
+	return out
+}
+
+// Reset discards retained values.
+func (s *Sample) Reset() { s.vs = s.vs[:0]; s.sorted = false }
+
+// CDFPoint is one point of an empirical CDF.
+type CDFPoint struct {
+	Value    float64
+	Fraction float64
+}
+
+// TimeWeighted tracks the time-weighted average of a step function, e.g.
+// "number of active vCPUs over the run" or utilization.
+type TimeWeighted struct {
+	last     sim.Time
+	value    float64
+	weighted float64
+	started  bool
+	start    sim.Time
+}
+
+// Set records that the tracked quantity changed to v at time now.
+func (tw *TimeWeighted) Set(now sim.Time, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.start = now
+	} else {
+		tw.weighted += tw.value * float64(now-tw.last)
+	}
+	tw.last = now
+	tw.value = v
+}
+
+// Value returns the current level.
+func (tw *TimeWeighted) Value() float64 { return tw.value }
+
+// Average returns the time-weighted mean over [start, now].
+func (tw *TimeWeighted) Average(now sim.Time) float64 {
+	if !tw.started || now <= tw.start {
+		return tw.value
+	}
+	total := tw.weighted + tw.value*float64(now-tw.last)
+	return total / float64(now-tw.start)
+}
+
+// Series is an (x, y) series, used for figures plotted against request
+// rate, time, etc.
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Point is one (x, y) sample of a Series.
+type Point struct {
+	X, Y float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// YAt returns the Y of the first point with the given X, and whether it
+// exists.
+func (s *Series) YAt(x float64) (float64, bool) {
+	for _, p := range s.Points {
+		if p.X == x {
+			return p.Y, true
+		}
+	}
+	return 0, false
+}
+
+// MaxY returns the largest Y in the series (0 if empty).
+func (s *Series) MaxY() float64 {
+	var m float64
+	for i, p := range s.Points {
+		if i == 0 || p.Y > m {
+			m = p.Y
+		}
+	}
+	return m
+}

@@ -1,0 +1,200 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"vscale/internal/sim"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	c.Inc()
+	c.Add(4)
+	if c.Value() != 5 {
+		t.Fatalf("value = %d", c.Value())
+	}
+	if r := c.Rate(0, 5*sim.Second); r != 1 {
+		t.Fatalf("rate = %f", r)
+	}
+	if r := c.Rate(sim.Second, sim.Second); r != 0 {
+		t.Fatal("zero window rate must be 0")
+	}
+	c.Reset()
+	if c.Value() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestSummaryMoments(t *testing.T) {
+	var s Summary
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Observe(v)
+	}
+	if s.Count() != 8 {
+		t.Fatal("count")
+	}
+	if s.Mean() != 5 {
+		t.Fatalf("mean = %f", s.Mean())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %f/%f", s.Min(), s.Max())
+	}
+	if math.Abs(s.Variance()-4) > 1e-9 {
+		t.Fatalf("variance = %f", s.Variance())
+	}
+	if math.Abs(s.Stddev()-2) > 1e-9 {
+		t.Fatalf("stddev = %f", s.Stddev())
+	}
+	if math.Abs(s.Sum()-40) > 1e-9 {
+		t.Fatalf("sum = %f", s.Sum())
+	}
+	s.Reset()
+	if s.Count() != 0 || s.Mean() != 0 || s.Min() != 0 || s.Max() != 0 {
+		t.Fatal("reset")
+	}
+}
+
+func TestSummaryMatchesSample(t *testing.T) {
+	f := func(vals []float64) bool {
+		var su Summary
+		var sa Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e12 {
+				continue
+			}
+			su.Observe(v)
+			sa.Observe(v)
+		}
+		if su.Count() == 0 {
+			return true
+		}
+		return math.Abs(su.Mean()-sa.Mean()) < 1e-6*(1+math.Abs(sa.Mean())) &&
+			su.Min() == sa.Min() && su.Max() == sa.Max()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("q0 = %f", q)
+	}
+	if q := s.Quantile(1); q != 100 {
+		t.Fatalf("q1 = %f", q)
+	}
+	if q := s.Quantile(0.5); math.Abs(q-50.5) > 1e-9 {
+		t.Fatalf("median = %f", q)
+	}
+	if q := s.Quantile(0.99); math.Abs(q-99.01) > 1e-9 {
+		t.Fatalf("p99 = %f", q)
+	}
+}
+
+func TestSampleQuantileMonotone(t *testing.T) {
+	r := sim.NewRand(3)
+	var s Sample
+	for i := 0; i < 1000; i++ {
+		s.Observe(r.Float64() * 100)
+	}
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.01 {
+		v := s.Quantile(q)
+		if v < prev {
+			t.Fatalf("quantile not monotone at q=%f: %f < %f", q, v, prev)
+		}
+		prev = v
+	}
+}
+
+func TestSampleCDF(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 1000; i++ {
+		s.Observe(float64(i))
+	}
+	cdf := s.CDF(10)
+	if len(cdf) != 10 {
+		t.Fatalf("cdf points = %d", len(cdf))
+	}
+	if cdf[len(cdf)-1].Fraction != 1 {
+		t.Fatalf("last fraction = %f", cdf[len(cdf)-1].Fraction)
+	}
+	for i := 1; i < len(cdf); i++ {
+		if cdf[i].Value < cdf[i-1].Value || cdf[i].Fraction <= cdf[i-1].Fraction {
+			t.Fatalf("cdf not monotone: %+v", cdf)
+		}
+	}
+	if s.CDF(0) != nil {
+		t.Fatal("0-point CDF should be nil")
+	}
+	var empty Sample
+	if empty.CDF(5) != nil {
+		t.Fatal("empty CDF should be nil")
+	}
+}
+
+func TestSampleValuesSortedCopy(t *testing.T) {
+	var s Sample
+	s.Observe(3)
+	s.Observe(1)
+	s.Observe(2)
+	vs := s.Values()
+	if vs[0] != 1 || vs[1] != 2 || vs[2] != 3 {
+		t.Fatalf("values = %v", vs)
+	}
+	vs[0] = 99 // mutation must not leak back
+	if s.Min() != 1 {
+		t.Fatal("Values must return a copy")
+	}
+}
+
+func TestTimeWeightedAverage(t *testing.T) {
+	var tw TimeWeighted
+	tw.Set(0, 4)
+	tw.Set(2*sim.Second, 2) // 4 for 2s
+	tw.Set(3*sim.Second, 8) // 2 for 1s
+	// then 8 for 1s -> (8+2+8)/4 = 4.5
+	if avg := tw.Average(4 * sim.Second); math.Abs(avg-4.5) > 1e-9 {
+		t.Fatalf("avg = %f", avg)
+	}
+	if tw.Value() != 8 {
+		t.Fatalf("value = %f", tw.Value())
+	}
+}
+
+func TestTimeWeightedDegenerate(t *testing.T) {
+	var tw TimeWeighted
+	if tw.Average(0) != 0 {
+		t.Fatal("empty average")
+	}
+	tw.Set(sim.Second, 5)
+	if tw.Average(sim.Second) != 5 {
+		t.Fatal("zero-span average should be current value")
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(1, 10)
+	s.Append(2, 30)
+	s.Append(3, 20)
+	if y, ok := s.YAt(2); !ok || y != 30 {
+		t.Fatalf("YAt(2) = %f,%v", y, ok)
+	}
+	if _, ok := s.YAt(9); ok {
+		t.Fatal("YAt(9) should miss")
+	}
+	if s.MaxY() != 30 {
+		t.Fatalf("MaxY = %f", s.MaxY())
+	}
+	var empty Series
+	if empty.MaxY() != 0 {
+		t.Fatal("empty MaxY")
+	}
+}

@@ -1,0 +1,146 @@
+// Package report renders experiment results as fixed-width text tables
+// and series, matching the tables and figures of the paper for
+// side-by-side comparison.
+package report
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"vscale/internal/metrics"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// AddRow appends a row; short rows are padded.
+func (t *Table) AddRow(cells ...string) {
+	for len(cells) < len(t.Columns) {
+		cells = append(cells, "")
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddRowf appends a row built from values via %v (floats get %.2f).
+func (t *Table) AddRowf(cells ...any) {
+	row := make([]string, 0, len(cells))
+	for _, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		case float32:
+			row = append(row, fmt.Sprintf("%.2f", v))
+		default:
+			row = append(row, fmt.Sprint(v))
+		}
+	}
+	t.AddRow(row...)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	sep := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	b.WriteString("\n")
+	for i := range sep {
+		fmt.Fprintf(&b, "%s  ", sep[i])
+	}
+	b.WriteString("\n")
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// RenderSeries prints (x, y) series side by side, one row per x.
+func RenderSeries(title, xlabel string, series ...*metrics.Series) string {
+	t := NewTable(title, append([]string{xlabel}, names(series)...)...)
+	xs := map[float64]bool{}
+	for _, s := range series {
+		for _, p := range s.Points {
+			xs[p.X] = true
+		}
+	}
+	sorted := make([]float64, 0, len(xs))
+	for x := range xs {
+		sorted = append(sorted, x)
+	}
+	sort.Float64s(sorted)
+	for _, x := range sorted {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, s := range series {
+			if y, ok := s.YAt(x); ok {
+				row = append(row, fmt.Sprintf("%.2f", y))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		t.AddRow(row...)
+	}
+	return t.String()
+}
+
+func names(series []*metrics.Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Name
+	}
+	return out
+}
+
+// RenderCDF prints an empirical CDF as value/fraction pairs.
+func RenderCDF(title string, points []metrics.CDFPoint) string {
+	t := NewTable(title, "value", "cdf")
+	for _, p := range points {
+		t.AddRow(fmt.Sprintf("%.3f", p.Value), fmt.Sprintf("%.3f", p.Fraction))
+	}
+	return t.String()
+}
+
+// Bar renders a quick ASCII bar for a value in [0, max].
+func Bar(value, max float64, width int) string {
+	if max <= 0 || width <= 0 {
+		return ""
+	}
+	n := int(value / max * float64(width))
+	if n < 0 {
+		n = 0
+	}
+	if n > width {
+		n = width
+	}
+	return strings.Repeat("#", n)
+}

@@ -1,0 +1,91 @@
+package report
+
+import (
+	"strings"
+	"testing"
+
+	"vscale/internal/metrics"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Title", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRow("beta-long-name", "22")
+	tb.AddRow("short") // padded
+	out := tb.String()
+	if !strings.HasPrefix(out, "Title\n") {
+		t.Fatalf("missing title:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d, want title+header+sep+3 rows", len(lines))
+	}
+	// Columns align: every row has the same prefix width up to "value".
+	hdrIdx := strings.Index(lines[1], "value")
+	for _, l := range lines[3:] {
+		if len(l) < hdrIdx {
+			t.Fatalf("row too short for alignment: %q", l)
+		}
+	}
+}
+
+func TestAddRowfFormats(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf("x", 3.14159, 7)
+	out := tb.String()
+	if !strings.Contains(out, "3.14") || strings.Contains(out, "3.14159") {
+		t.Fatalf("float formatting wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "7") {
+		t.Fatalf("int formatting wrong:\n%s", out)
+	}
+}
+
+func TestRenderSeriesAlignsByX(t *testing.T) {
+	a := &metrics.Series{Name: "a"}
+	a.Append(1, 10)
+	a.Append(2, 20)
+	b := &metrics.Series{Name: "b"}
+	b.Append(2, 200)
+	b.Append(3, 300)
+	out := RenderSeries("S", "x", a, b)
+	if !strings.Contains(out, "a") || !strings.Contains(out, "b") {
+		t.Fatal("series names missing")
+	}
+	// x=1 has no b value; x=3 has no a value.
+	for _, want := range []string{"10.00", "20.00", "200.00", "300.00", "-"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+	// Rows sorted by x.
+	if strings.Index(out, "10.00") > strings.Index(out, "300.00") {
+		t.Fatal("rows not sorted by x")
+	}
+}
+
+func TestRenderCDF(t *testing.T) {
+	var s metrics.Sample
+	for i := 1; i <= 100; i++ {
+		s.Observe(float64(i))
+	}
+	out := RenderCDF("C", s.CDF(4))
+	if !strings.Contains(out, "1.000") {
+		t.Fatalf("CDF should reach 1.0:\n%s", out)
+	}
+}
+
+func TestBar(t *testing.T) {
+	if Bar(5, 10, 10) != "#####" {
+		t.Fatalf("bar = %q", Bar(5, 10, 10))
+	}
+	if Bar(20, 10, 10) != "##########" {
+		t.Fatal("bar must clamp high")
+	}
+	if Bar(-1, 10, 10) != "" {
+		t.Fatal("bar must clamp low")
+	}
+	if Bar(1, 0, 10) != "" || Bar(1, 10, 0) != "" {
+		t.Fatal("degenerate bars must be empty")
+	}
+}

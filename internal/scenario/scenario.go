@@ -1,0 +1,246 @@
+// Package scenario assembles the paper's experimental setups: a pCPU
+// pool, the SMP-VM under test, and enough photo-slideshow background VMs
+// to keep the consolidation ratio at 2 vCPUs per pCPU (§5.2.1), under
+// one of the four configurations compared throughout §5.2 — vanilla
+// Xen/Linux, Xen/Linux with pv-spinlocks, vScale, and vScale with
+// pv-spinlocks.
+package scenario
+
+import (
+	"fmt"
+
+	"vscale/internal/guest"
+	"vscale/internal/sim"
+	"vscale/internal/workload"
+	"vscale/internal/xen"
+)
+
+// Mode selects one of the paper's four configurations.
+type Mode int
+
+// The four configurations of Figures 6, 7, 11, 12 and 14.
+const (
+	// Baseline is vanilla Xen/Linux.
+	Baseline Mode = iota
+	// PVLock adds paravirtual ticket spinlocks in the guest.
+	PVLock
+	// VScale enables the vScale daemon/balancer and the hypervisor
+	// extension.
+	VScale
+	// VScalePVLock combines both (they compose, working at different
+	// layers).
+	VScalePVLock
+)
+
+func (m Mode) String() string {
+	switch m {
+	case Baseline:
+		return "Xen/Linux"
+	case PVLock:
+		return "Xen/Linux + pvlock"
+	case VScale:
+		return "vScale"
+	case VScalePVLock:
+		return "vScale + pvlock"
+	default:
+		return fmt.Sprintf("Mode(%d)", int(m))
+	}
+}
+
+// Modes lists all four configurations in figure order.
+func Modes() []Mode { return []Mode{Baseline, PVLock, VScale, VScalePVLock} }
+
+// Setup describes one experiment host.
+type Setup struct {
+	// PCPUs is the domU pool size (the paper's testbed gives domUs a
+	// dedicated pool; dom0 runs elsewhere).
+	PCPUs int
+	// VMVCPUs is the vCPU count of the VM under test.
+	VMVCPUs int
+	// BackgroundVMs overrides the background-VM count; when 0, enough
+	// 2-vCPU slideshow VMs are launched to reach ConsolidationRatio.
+	BackgroundVMs int
+	// ConsolidationRatio is vCPUs per pCPU (paper: 2).
+	ConsolidationRatio float64
+	// Mode is the configuration under test.
+	Mode Mode
+	// Policy selects the hypervisor scheduling policy (credit default;
+	// the VRT policy demonstrates that vScale is scheduler-agnostic —
+	// ablation A6).
+	Policy xen.SchedPolicy
+	// Seed drives all randomness.
+	Seed uint64
+
+	// WeightOnly makes the daemon size the VM from its weight-based fair
+	// share only, ignoring consumption — the VCPU-Bal policy (ablation
+	// A1).
+	WeightOnly bool
+	// ReconfigDelay, when non-nil, delays every freeze/unfreeze by the
+	// sampled latency — the dom0/CPU-hotplug reconfiguration path
+	// (ablation A2).
+	ReconfigDelay func(r *sim.Rand) sim.Time
+	// PerVCPUWeight reverts the hypervisor to unpatched per-vCPU weight
+	// accounting (ablation A4).
+	PerVCPUWeight bool
+	// DaemonPeriod overrides the daemon poll period (ablation A3).
+	DaemonPeriod sim.Time
+	// PureCeil uses Algorithm 1's pure ceiling instead of the default
+	// fragmentation margin when sizing the VM (ablation A5).
+	PureCeil bool
+	// NoBackground disables the slideshow VMs entirely (dedicated host).
+	NoBackground bool
+	// LightBackground switches the slideshow VMs to a low duty cycle
+	// (~20%), the regime where weight-only sizing (VCPU-Bal) leaves most
+	// of the machine's slack unclaimed.
+	LightBackground bool
+	// Background, when non-nil, overrides the slideshow profile of the
+	// background VMs entirely.
+	Background *workload.Slideshow
+}
+
+// DefaultSetup returns the paper-like configuration: 8 pool pCPUs, a
+// 4-vCPU VM, 2:1 consolidation.
+func DefaultSetup() Setup {
+	return Setup{
+		PCPUs:              8,
+		VMVCPUs:            4,
+		ConsolidationRatio: 2,
+		Mode:               Baseline,
+		Seed:               1,
+	}
+}
+
+// Built is an assembled scenario ready to run workloads on.
+type Built struct {
+	Setup Setup
+	Eng   *sim.Engine
+	Pool  *xen.Pool
+	VM    *xen.Domain
+	K     *guest.Kernel
+	BG    []*guest.Kernel
+}
+
+// Build assembles the host, VM under test and background VMs. Guests are
+// booted; the scheduler is started.
+func Build(s Setup) *Built {
+	if s.PCPUs <= 0 || s.VMVCPUs <= 0 {
+		panic("scenario: PCPUs and VMVCPUs must be positive")
+	}
+	if s.ConsolidationRatio == 0 {
+		s.ConsolidationRatio = 2
+	}
+	eng := sim.NewEngine(s.Seed)
+	xcfg := xen.DefaultConfig(s.PCPUs)
+	xcfg.Policy = s.Policy
+	xcfg.VScale = s.Mode == VScale || s.Mode == VScalePVLock
+	xcfg.PerVCPUWeight = s.PerVCPUWeight
+	pool := xen.NewPool(eng, xcfg)
+
+	// Per-vCPU-equal weights: a domain's weight is proportional to its
+	// vCPU count (the paper configures weights so all vCPUs are treated
+	// equally by the hypervisor).
+	const weightPerVCPU = 128
+	vm := pool.AddDomain("vm", weightPerVCPU*float64(s.VMVCPUs), s.VMVCPUs, nil)
+
+	gcfg := guest.DefaultConfig()
+	gcfg.Seed = s.Seed * 7919
+	gcfg.PVSpinlock = s.Mode == PVLock || s.Mode == VScalePVLock
+	gcfg.VScale.Enabled = xcfg.VScale
+	if s.DaemonPeriod > 0 {
+		gcfg.VScale.Period = s.DaemonPeriod
+	}
+	gcfg.VScale.WeightOnly = s.WeightOnly
+	gcfg.VScale.ReconfigDelay = s.ReconfigDelay
+	gcfg.VScale.UsePureCeil = s.PureCeil
+	k := guest.NewKernel(vm, gcfg)
+	k.SpawnPerCPUKthreads()
+
+	b := &Built{Setup: s, Eng: eng, Pool: pool, VM: vm, K: k}
+
+	nbg := s.BackgroundVMs
+	if nbg == 0 && !s.NoBackground {
+		want := int(s.ConsolidationRatio*float64(s.PCPUs)) - s.VMVCPUs
+		nbg = want / 2
+		if nbg < 0 {
+			nbg = 0
+		}
+	}
+	if s.NoBackground {
+		nbg = 0
+	}
+	show := workload.DefaultSlideshow()
+	if s.LightBackground {
+		show.IdleMin, show.IdleMax = 3*show.BurstMin, 5*show.BurstMax
+	}
+	if s.Background != nil {
+		show = *s.Background
+	}
+	for i := 0; i < nbg; i++ {
+		dom := pool.AddDomain(fmt.Sprintf("bg%d", i), weightPerVCPU*2, 2, nil)
+		bcfg := guest.DefaultConfig()
+		bcfg.Seed = s.Seed*104729 + uint64(i)*31
+		bk := guest.NewKernel(dom, bcfg)
+		app := workload.NewApp(bk, "slideshow")
+		show.Start(app)
+		bk.Boot()
+		b.BG = append(b.BG, bk)
+	}
+
+	pool.Start()
+	k.Boot()
+	return b
+}
+
+// AppResult captures the per-run metrics the paper reports.
+type AppResult struct {
+	Mode     Mode
+	ExecTime sim.Time
+	// WaitTime is the VM's total scheduling delay accumulated during the
+	// run (Figure 9's metric).
+	WaitTime sim.Time
+	// IPIsPerVCPUSec is the mean reschedule-IPI delivery rate per vCPU
+	// (Figures 10 and 13).
+	IPIsPerVCPUSec float64
+	// AvgActiveVCPUs is the time-weighted active-vCPU count (Figure 8's
+	// aggregate).
+	AvgActiveVCPUs float64
+	// TimedOut reports that the run hit the deadline before finishing.
+	TimedOut bool
+}
+
+// RunApp launches an application via launch and runs the simulation
+// until it completes (or deadline passes), returning the metrics.
+func (b *Built) RunApp(launch func(k *guest.Kernel) *workload.App, deadline sim.Time) AppResult {
+	startWait := b.VM.TotalWaitTime
+	var startIPIs uint64
+	for i := 0; i < b.K.NCPUs(); i++ {
+		startIPIs += b.K.CPUStatsOf(i).ReschedIPIs
+	}
+	start := b.Eng.Now()
+
+	app := launch(b.K)
+	app.OnDone = func(*workload.App) { b.Eng.Stop() }
+	if err := b.Eng.RunUntil(start + deadline); err != nil {
+		panic(err)
+	}
+	end := b.Eng.Now()
+
+	var endIPIs uint64
+	for i := 0; i < b.K.NCPUs(); i++ {
+		endIPIs += b.K.CPUStatsOf(i).ReschedIPIs
+	}
+	res := AppResult{
+		Mode:           b.Setup.Mode,
+		ExecTime:       app.ExecTime(),
+		WaitTime:       b.VM.TotalWaitTime - startWait,
+		AvgActiveVCPUs: b.K.AverageActiveVCPUs(),
+		TimedOut:       !app.Done(),
+	}
+	if res.TimedOut {
+		res.ExecTime = end - start
+	}
+	if dur := end - start; dur > 0 {
+		res.IPIsPerVCPUSec = float64(endIPIs-startIPIs) / float64(b.K.NCPUs()) / sim.Time(dur).Seconds()
+	}
+	return res
+}

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"testing"
+
+	"vscale/internal/guest"
+	"vscale/internal/sim"
+	"vscale/internal/workload"
+	"vscale/internal/workload/npb"
+)
+
+func runNPB(t *testing.T, app string, mode Mode, spin uint64, vcpus int) AppResult {
+	t.Helper()
+	s := DefaultSetup()
+	s.Mode = mode
+	s.VMVCPUs = vcpus
+	b := Build(s)
+	p, err := npb.ProfileFor(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b.RunApp(func(k *guest.Kernel) *workload.App {
+		return npb.Launch(k, p, vcpus, guest.SpinBudgetFromCount(spin))
+	}, 600*sim.Second)
+}
+
+func TestVScaleAcceleratesSpinHeavyNPB(t *testing.T) {
+	// The headline result (Figure 6a): with heavy user-level spinning
+	// (GOMP_SPINCOUNT=30B) on an oversubscribed host, vScale
+	// substantially reduces execution time for barrier-bound apps.
+	base := runNPB(t, "cg", Baseline, 30_000_000_000, 4)
+	vs := runNPB(t, "cg", VScale, 30_000_000_000, 4)
+	if base.TimedOut || vs.TimedOut {
+		t.Fatalf("runs timed out: base=%v vscale=%v", base.TimedOut, vs.TimedOut)
+	}
+	speedup := float64(base.ExecTime) / float64(vs.ExecTime)
+	t.Logf("cg: baseline %v, vscale %v (%.2fx)", base.ExecTime, vs.ExecTime, speedup)
+	if speedup < 1.25 {
+		t.Fatalf("vScale speedup = %.2fx, want >= 1.25x for cg with heavy spinning", speedup)
+	}
+	// vScale must also slash the VM's scheduling delay (Figure 9: >90%).
+	waitPerSec := func(r AppResult) float64 {
+		return float64(r.WaitTime) / float64(r.ExecTime)
+	}
+	if waitPerSec(vs) > 0.5*waitPerSec(base) {
+		t.Fatalf("waiting-time fraction not reduced: base %.3f vs vscale %.3f",
+			waitPerSec(base), waitPerSec(vs))
+	}
+	// And it should have actually scaled down below 4 vCPUs on average.
+	if vs.AvgActiveVCPUs >= 3.9 {
+		t.Fatalf("avg active vCPUs = %.2f; vScale never scaled", vs.AvgActiveVCPUs)
+	}
+}
+
+func TestVScaleHelpsLittleForEP(t *testing.T) {
+	// ep has almost no synchronisation: vScale should neither help much
+	// nor hurt much (Figure 6: ep is insensitive).
+	base := runNPB(t, "ep", Baseline, 30_000_000_000, 4)
+	vs := runNPB(t, "ep", VScale, 30_000_000_000, 4)
+	ratio := float64(vs.ExecTime) / float64(base.ExecTime)
+	t.Logf("ep: baseline %v, vscale %v (ratio %.2f)", base.ExecTime, vs.ExecTime, ratio)
+	if ratio > 1.25 {
+		t.Fatalf("vScale slowed ep down by %.0f%%", (ratio-1)*100)
+	}
+}
+
+func TestLUGainsRegardlessOfPolicy(t *testing.T) {
+	// lu's hand-rolled busy-wait pipeline is beyond OpenMP's control:
+	// vScale's gain shows up at every spin policy (paper: >60% at all
+	// three).
+	for _, spin := range []uint64{30_000_000_000, 300_000, 0} {
+		base := runNPB(t, "lu", Baseline, spin, 4)
+		vs := runNPB(t, "lu", VScale, spin, 4)
+		speedup := float64(base.ExecTime) / float64(vs.ExecTime)
+		t.Logf("lu spin=%d: baseline %v vscale %v (%.2fx)", spin, base.ExecTime, vs.ExecTime, speedup)
+		if speedup < 1.2 {
+			t.Fatalf("spin=%d: lu speedup only %.2fx", spin, speedup)
+		}
+	}
+}
+
+func TestIPIRateGrowsAsSpinningShrinks(t *testing.T) {
+	// Figure 10: with heavy spinning, almost no IPIs; with passive
+	// waiting, futex wakeups drive IPIs up.
+	heavy := runNPB(t, "sp", Baseline, 30_000_000_000, 4)
+	passive := runNPB(t, "sp", Baseline, 0, 4)
+	t.Logf("sp IPIs/vCPU/s: spin=30B %.0f, spin=0 %.0f", heavy.IPIsPerVCPUSec, passive.IPIsPerVCPUSec)
+	if passive.IPIsPerVCPUSec < 5*heavy.IPIsPerVCPUSec || passive.IPIsPerVCPUSec < 50 {
+		t.Fatalf("IPI profile wrong: heavy %.1f vs passive %.1f", heavy.IPIsPerVCPUSec, passive.IPIsPerVCPUSec)
+	}
+}
+
+func TestModesEnumerateAndLabel(t *testing.T) {
+	if len(Modes()) != 4 {
+		t.Fatal("want 4 modes")
+	}
+	for _, m := range Modes() {
+		if m.String() == "" {
+			t.Fatal("empty label")
+		}
+	}
+}
+
+func TestBuildConsolidationRatio(t *testing.T) {
+	b := Build(DefaultSetup())
+	// 8 pCPUs, ratio 2 → 16 vCPUs total: 4 for the VM + 6 bg VMs × 2.
+	if len(b.BG) != 6 {
+		t.Fatalf("background VMs = %d, want 6", len(b.BG))
+	}
+	total := b.Setup.VMVCPUs
+	for range b.BG {
+		total += 2
+	}
+	if total != 16 {
+		t.Fatalf("total vCPUs = %d", total)
+	}
+	s := DefaultSetup()
+	s.NoBackground = true
+	if b2 := Build(s); len(b2.BG) != 0 {
+		t.Fatal("NoBackground ignored")
+	}
+}
+
+func TestDeterministicScenario(t *testing.T) {
+	r1 := runNPB(t, "mg", VScale, 300_000, 4)
+	r2 := runNPB(t, "mg", VScale, 300_000, 4)
+	if r1.ExecTime != r2.ExecTime || r1.WaitTime != r2.WaitTime {
+		t.Fatalf("scenario not deterministic: %+v vs %+v", r1, r2)
+	}
+}

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// EventFunc is the body of a scheduled event. It runs at the event's
+// virtual timestamp with the engine clock already advanced.
+type EventFunc func()
+
+// Event is a handle to a scheduled event. It can be cancelled; cancelled
+// events stay in the heap but are skipped when popped.
+type Event struct {
+	when      Time
+	seq       uint64 // FIFO tie-break for simultaneous events
+	index     int    // heap index, -1 when popped
+	fn        EventFunc
+	cancelled bool
+	label     string
+}
+
+// When returns the virtual time the event is scheduled for.
+func (e *Event) When() Time { return e.when }
+
+// Cancelled reports whether Cancel has been called on the event.
+func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Label returns the debug label given at scheduling time.
+func (e *Event) Label() string { return e.label }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].when != h[j].when {
+		return h[i].when < h[j].when
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation core: a virtual clock and an
+// ordered queue of future events. Engines are not safe for concurrent
+// use; the entire simulation is single-threaded and deterministic.
+type Engine struct {
+	now     Time
+	seq     uint64
+	queue   eventHeap
+	rand    *Rand
+	stopped bool
+
+	// Processed counts events executed (not cancelled), for tests and
+	// runaway-simulation guards.
+	Processed uint64
+	// Limit, when non-zero, aborts Run with an error after this many
+	// executed events. It guards against accidental infinite event loops.
+	Limit uint64
+}
+
+// NewEngine returns an engine with the clock at zero and a deterministic
+// PRNG seeded with seed.
+func NewEngine(seed uint64) *Engine {
+	return &Engine{rand: NewRand(seed)}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand returns the engine's deterministic PRNG.
+func (e *Engine) Rand() *Rand { return e.rand }
+
+// At schedules fn to run at absolute virtual time when. Scheduling in the
+// past panics. The label is kept for debugging.
+func (e *Engine) At(when Time, label string, fn EventFunc) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, when, e.now))
+	}
+	ev := &Event{when: when, seq: e.seq, fn: fn, label: label}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run d nanoseconds from now.
+func (e *Engine) After(d Time, label string, fn EventFunc) *Event {
+	checkNonNegative(d)
+	return e.At(e.now+d, label, fn)
+}
+
+// Cancel marks ev as cancelled. It is safe to cancel an event that has
+// already fired or was already cancelled; those calls are no-ops.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil {
+		return
+	}
+	ev.cancelled = true
+}
+
+// Pending returns the number of events still queued, including cancelled
+// events not yet skipped.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Stop makes the current Run/RunUntil call return after the in-flight
+// event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// step pops and executes the next non-cancelled event. It reports false
+// when the queue is exhausted.
+func (e *Engine) step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.cancelled {
+			continue
+		}
+		if ev.when < e.now {
+			panic("sim: event heap yielded an event in the past")
+		}
+		e.now = ev.when
+		e.Processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Stop is called. It
+// returns an error only if the event Limit was exceeded.
+func (e *Engine) Run() error {
+	e.stopped = false
+	for !e.stopped {
+		if e.Limit != 0 && e.Processed >= e.Limit {
+			return fmt.Errorf("sim: event limit %d exceeded at %v", e.Limit, e.now)
+		}
+		if !e.step() {
+			return nil
+		}
+	}
+	return nil
+}
+
+// RunUntil executes events with timestamps <= deadline, then advances the
+// clock to exactly deadline. Events after the deadline remain queued.
+// If Stop is called by an event, the clock stays where the stop
+// happened.
+func (e *Engine) RunUntil(deadline Time) error {
+	e.stopped = false
+	for !e.stopped {
+		if e.Limit != 0 && e.Processed >= e.Limit {
+			return fmt.Errorf("sim: event limit %d exceeded at %v", e.Limit, e.now)
+		}
+		// Peek at the next live event.
+		next := e.peek()
+		if next == nil || next.when > deadline {
+			break
+		}
+		e.step()
+	}
+	if !e.stopped && e.now < deadline {
+		e.now = deadline
+	}
+	return nil
+}
+
+// peek returns the next non-cancelled event without executing it,
+// discarding cancelled entries as it goes.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.cancelled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	e.After(30*Millisecond, "c", func() { got = append(got, 3) })
+	e.After(10*Millisecond, "a", func() { got = append(got, 1) })
+	e.After(20*Millisecond, "b", func() { got = append(got, 2) })
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i, v := range want {
+		if got[i] != v {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if e.Now() != 30*Millisecond {
+		t.Fatalf("Now = %v, want 30ms", e.Now())
+	}
+}
+
+func TestEngineFIFOTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(5*Millisecond, "tie", func() { got = append(got, i) })
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("simultaneous events ran out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine(1)
+	fired := false
+	ev := e.After(Millisecond, "x", func() { fired = true })
+	e.Cancel(ev)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	// Double-cancel and cancel-nil must be no-ops.
+	e.Cancel(ev)
+	e.Cancel(nil)
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine(1)
+	var fired []Time
+	for _, d := range []Time{Millisecond, 2 * Millisecond, 5 * Millisecond} {
+		d := d
+		e.After(d, "t", func() { fired = append(fired, d) })
+	}
+	if err := e.RunUntil(3 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 {
+		t.Fatalf("fired %d events before deadline, want 2", len(fired))
+	}
+	if e.Now() != 3*Millisecond {
+		t.Fatalf("clock = %v, want exactly the deadline", e.Now())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 3 {
+		t.Fatalf("remaining event lost: fired=%v", fired)
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine(1)
+	depth := 0
+	var rec func()
+	rec = func() {
+		depth++
+		if depth < 100 {
+			e.After(Microsecond, "rec", rec)
+		}
+	}
+	e.After(0, "start", rec)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if depth != 100 {
+		t.Fatalf("depth = %d, want 100", depth)
+	}
+	if e.Now() != 99*Microsecond {
+		t.Fatalf("Now = %v", e.Now())
+	}
+}
+
+func TestEngineLimit(t *testing.T) {
+	e := NewEngine(1)
+	e.Limit = 10
+	var loop func()
+	loop = func() { e.After(Millisecond, "loop", loop) }
+	e.After(0, "start", loop)
+	if err := e.Run(); err == nil {
+		t.Fatal("expected limit error")
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var loop func()
+	loop = func() {
+		n++
+		if n == 5 {
+			e.Stop()
+		}
+		e.After(Millisecond, "loop", loop)
+	}
+	e.After(0, "start", loop)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("n = %d, want 5 (Stop should halt the loop)", n)
+	}
+}
+
+func TestEngineSchedulePastPanics(t *testing.T) {
+	e := NewEngine(1)
+	e.After(Millisecond, "x", func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.At(0, "past", func() {})
+	})
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerResetAndStop(t *testing.T) {
+	e := NewEngine(1)
+	fires := 0
+	tm := NewTimer(e, "t", func() { fires++ })
+	tm.Reset(2 * Millisecond)
+	tm.Reset(5 * Millisecond) // supersedes the first arm
+	if !tm.Armed() || tm.Deadline() != 5*Millisecond {
+		t.Fatalf("deadline = %v", tm.Deadline())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Fatalf("fires = %d, want 1 (Reset must supersede)", fires)
+	}
+	tm.Reset(Millisecond)
+	tm.Stop()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Fatal("stopped timer fired")
+	}
+	if tm.Deadline() != MaxTime {
+		t.Fatal("stopped timer should report MaxTime deadline")
+	}
+}
+
+func TestTickerPeriodic(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(e, "tick", Millisecond, func() {
+		n++
+		if n == 7 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 7 {
+		t.Fatalf("ticks = %d, want 7", n)
+	}
+	if e.Now() != 7*Millisecond {
+		t.Fatalf("Now = %v, want 7ms", e.Now())
+	}
+}
+
+func TestTickerRestartWithinCallback(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tk *Ticker
+	tk = NewTicker(e, "tick", Millisecond, func() {
+		n++
+		if n == 1 {
+			tk.SetPeriod(2 * Millisecond)
+			tk.Start() // re-phase from inside the callback
+		}
+		if n == 3 {
+			tk.Stop()
+		}
+	})
+	tk.Start()
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 1ms (n=1), then 3ms (n=2), then 5ms (n=3).
+	if n != 3 || e.Now() != 5*Millisecond {
+		t.Fatalf("n=%d now=%v", n, e.Now())
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewRand(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds nearly identical: %d collisions", same)
+	}
+}
+
+func TestRandUniformity(t *testing.T) {
+	r := NewRand(7)
+	const n = 100000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if mean < 0.49 || mean > 0.51 {
+		t.Fatalf("mean of uniforms = %f", mean)
+	}
+	buckets := make([]int, 10)
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(10)]++
+	}
+	for i, b := range buckets {
+		if b < n/10-n/50 || b > n/10+n/50 {
+			t.Fatalf("bucket %d has %d of %d", i, b, n)
+		}
+	}
+}
+
+func TestRandDurationBounds(t *testing.T) {
+	r := NewRand(9)
+	f := func(a, b uint32) bool {
+		lo, hi := Time(a%1000), Time(a%1000)+Time(b%1000)
+		d := r.Duration(lo, hi)
+		return d >= lo && d <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRandNormalMoments(t *testing.T) {
+	r := NewRand(11)
+	const n = 200000
+	var sum, sq float64
+	for i := 0; i < n; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sq += v * v
+	}
+	mean, variance := sum/n, sq/n
+	if mean < -0.02 || mean > 0.02 {
+		t.Fatalf("normal mean = %f", mean)
+	}
+	if variance < 0.97 || variance > 1.03 {
+		t.Fatalf("normal variance = %f", variance)
+	}
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(13)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += r.ExpFloat64()
+	}
+	if m := sum / n; m < 0.98 || m > 1.02 {
+		t.Fatalf("exponential mean = %f", m)
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(17)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandFork(t *testing.T) {
+	r := NewRand(21)
+	f := r.Fork()
+	// The fork must be decoupled: drawing from one must not change the
+	// other's future output beyond the fork point.
+	want := f.Uint64()
+	r2 := NewRand(21)
+	f2 := r2.Fork()
+	for i := 0; i < 100; i++ {
+		r2.Uint64()
+	}
+	if f2.Uint64() != want {
+		t.Fatal("fork stream not independent of parent draws")
+	}
+}
+
+func TestTimeConversions(t *testing.T) {
+	if FromMillis(30) != 30*Millisecond {
+		t.Fatal("FromMillis")
+	}
+	if FromMicros(0.5) != 500*Nanosecond {
+		t.Fatal("FromMicros")
+	}
+	if FromSeconds(2).Seconds() != 2 {
+		t.Fatal("Seconds roundtrip")
+	}
+	if (30 * Millisecond).String() != "30ms" {
+		t.Fatalf("String = %q", (30 * Millisecond).String())
+	}
+	if MaxTime.String() != "never" {
+		t.Fatal("MaxTime should render as never")
+	}
+}

@@ -1,0 +1,73 @@
+// Package sim provides a deterministic discrete-event simulation engine:
+// a virtual clock with nanosecond resolution, a cancellable event heap,
+// and a seeded pseudo-random number generator. Every component of the
+// vScale reproduction (hypervisor, guest kernels, workloads) runs on top
+// of this engine, so simulations are exactly reproducible for a given
+// seed and never read the wall clock.
+package sim
+
+import (
+	"fmt"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation. It intentionally mirrors time.Duration arithmetic but is a
+// distinct type so that virtual and wall-clock quantities cannot be mixed
+// by accident.
+type Time int64
+
+// Common durations, expressed in virtual nanoseconds.
+const (
+	Nanosecond  Time = 1
+	Microsecond      = 1000 * Nanosecond
+	Millisecond      = 1000 * Microsecond
+	Second           = 1000 * Millisecond
+)
+
+// MaxTime is the largest representable virtual time. It is used as the
+// "never" sentinel for deadlines.
+const MaxTime Time = 1<<63 - 1
+
+// Add returns t shifted by a duration d (also in virtual nanoseconds).
+func (t Time) Add(d Time) Time { return t + d }
+
+// Sub returns the duration t - u.
+func (t Time) Sub(u Time) Time { return t - u }
+
+// Seconds converts t to floating-point seconds.
+func (t Time) Seconds() float64 { return float64(t) / float64(Second) }
+
+// Milliseconds converts t to floating-point milliseconds.
+func (t Time) Milliseconds() float64 { return float64(t) / float64(Millisecond) }
+
+// Microseconds converts t to floating-point microseconds.
+func (t Time) Microseconds() float64 { return float64(t) / float64(Microsecond) }
+
+// Duration converts t to a time.Duration for formatting convenience.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// String renders t with time.Duration formatting (e.g. "30ms").
+func (t Time) String() string {
+	if t == MaxTime {
+		return "never"
+	}
+	return time.Duration(t).String()
+}
+
+// FromSeconds converts floating-point seconds to virtual time.
+func FromSeconds(s float64) Time { return Time(s * float64(Second)) }
+
+// FromMillis converts floating-point milliseconds to virtual time.
+func FromMillis(ms float64) Time { return Time(ms * float64(Millisecond)) }
+
+// FromMicros converts floating-point microseconds to virtual time.
+func FromMicros(us float64) Time { return Time(us * float64(Microsecond)) }
+
+// checkNonNegative panics if d is negative; scheduling into the past is
+// always a programming error in the simulation.
+func checkNonNegative(d Time) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative duration %d", int64(d)))
+	}
+}

@@ -1,0 +1,115 @@
+package sim
+
+// Timer is a restartable one-shot timer layered over engine events. It is
+// used for the many "program the next deadline" patterns in the
+// hypervisor and guest kernels (slice expiry, tick, accounting period).
+type Timer struct {
+	eng   *Engine
+	ev    *Event
+	label string
+	fn    EventFunc
+}
+
+// NewTimer creates a stopped timer that runs fn when it fires.
+func NewTimer(eng *Engine, label string, fn EventFunc) *Timer {
+	return &Timer{eng: eng, label: label, fn: fn}
+}
+
+// Reset (re)arms the timer to fire d from now, cancelling any pending
+// expiry.
+func (t *Timer) Reset(d Time) {
+	t.Stop()
+	t.ev = t.eng.After(d, t.label, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// ResetAt (re)arms the timer to fire at absolute time when.
+func (t *Timer) ResetAt(when Time) {
+	t.Stop()
+	t.ev = t.eng.At(when, t.label, func() {
+		t.ev = nil
+		t.fn()
+	})
+}
+
+// Stop cancels a pending expiry, if any.
+func (t *Timer) Stop() {
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Armed reports whether the timer has a pending expiry.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Deadline returns the pending expiry time, or MaxTime if stopped.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return MaxTime
+	}
+	return t.ev.When()
+}
+
+// Ticker fires fn every period until stopped. The first firing is one
+// period from Start.
+type Ticker struct {
+	eng     *Engine
+	ev      *Event
+	label   string
+	period  Time
+	fn      EventFunc
+	stopped bool
+}
+
+// NewTicker creates a stopped ticker.
+func NewTicker(eng *Engine, label string, period Time, fn EventFunc) *Ticker {
+	if period <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	return &Ticker{eng: eng, label: label, period: period, fn: fn, stopped: true}
+}
+
+// Start arms the ticker. Starting a running ticker re-phases it.
+func (t *Ticker) Start() {
+	t.Stop()
+	t.stopped = false
+	t.arm()
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.eng.After(t.period, t.label, func() {
+		t.ev = nil
+		t.fn()
+		// fn may have stopped (or restarted) the ticker; only rearm if it
+		// is still running and nothing else armed it.
+		if !t.stopped && t.ev == nil {
+			t.arm()
+		}
+	})
+}
+
+// Stop cancels future firings.
+func (t *Ticker) Stop() {
+	t.stopped = true
+	if t.ev != nil {
+		t.eng.Cancel(t.ev)
+		t.ev = nil
+	}
+}
+
+// Running reports whether the ticker is armed or mid-callback.
+func (t *Ticker) Running() bool { return !t.stopped }
+
+// Period returns the tick period.
+func (t *Ticker) Period() Time { return t.period }
+
+// SetPeriod changes the period; it takes effect at the next (re)arm.
+func (t *Ticker) SetPeriod(p Time) {
+	if p <= 0 {
+		panic("sim: ticker period must be positive")
+	}
+	t.period = p
+}

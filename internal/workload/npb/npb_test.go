@@ -1,0 +1,161 @@
+package npb
+
+import (
+	"testing"
+
+	"vscale/internal/guest"
+	"vscale/internal/sim"
+	"vscale/internal/xen"
+)
+
+func newGuest(t *testing.T, pcpus, vcpus int) (*sim.Engine, *xen.Pool, *guest.Kernel) {
+	t.Helper()
+	eng := sim.NewEngine(3)
+	pool := xen.NewPool(eng, xen.DefaultConfig(pcpus))
+	dom := pool.AddDomain("vm", 256, vcpus, nil)
+	k := guest.NewKernel(dom, guest.DefaultConfig())
+	return eng, pool, k
+}
+
+func TestProfilesComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 10 {
+		t.Fatalf("apps = %d, want the 10 NPB-OMP members", len(names))
+	}
+	want := []string{"bt", "cg", "dc", "ep", "ft", "is", "lu", "mg", "sp", "ua"}
+	for i, n := range want {
+		if names[i] != n {
+			t.Fatalf("names[%d] = %s, want %s (figure order)", i, names[i], n)
+		}
+	}
+	for _, n := range names {
+		p, err := ProfileFor(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Iterations <= 0 || p.SegMean <= 0 {
+			t.Fatalf("%s: degenerate profile %+v", n, p)
+		}
+	}
+	if _, err := ProfileFor("zz"); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}
+
+func TestProfileCharacters(t *testing.T) {
+	lu, _ := ProfileFor("lu")
+	if !lu.AdHocSpin {
+		t.Fatal("lu must use ad-hoc busy-wait sync (paper §5.2.2)")
+	}
+	dc, _ := ProfileFor("dc")
+	if dc.IOPerIter == 0 {
+		t.Fatal("dc must do I/O")
+	}
+	ep, _ := ProfileFor("ep")
+	cg, _ := ProfileFor("cg")
+	// ep is coarse-grained, cg fine-grained: barrier frequency must
+	// differ by orders of magnitude.
+	epRate := float64(ep.BarriersPerIter) / ep.SegMean.Seconds()
+	cgRate := float64(cg.BarriersPerIter) / cg.SegMean.Seconds()
+	if cgRate < 100*epRate {
+		t.Fatalf("cg barrier rate %.0f/s vs ep %.0f/s: want >100x gap", cgRate, epRate)
+	}
+}
+
+func TestLaunchBarrierAppCompletes(t *testing.T) {
+	eng, pool, k := newGuest(t, 4, 4)
+	p, _ := ProfileFor("cg")
+	p.Iterations = 40 // shrink for the unit test
+	app := Launch(k, p, 4, guest.SpinBudgetFromCount(300_000))
+	pool.Start()
+	k.Boot()
+	if err := eng.RunUntil(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !app.Done() {
+		t.Fatal("cg did not complete")
+	}
+	if len(app.Threads()) != 4 {
+		t.Fatalf("threads = %d", len(app.Threads()))
+	}
+	// Dedicated 4x4: exec ≈ iterations × barriers × segMean ≈ 240ms+.
+	if app.ExecTime() < 200*sim.Millisecond {
+		t.Fatalf("exec = %v implausibly fast", app.ExecTime())
+	}
+}
+
+func TestLaunchLuPipelineCompletes(t *testing.T) {
+	eng, pool, k := newGuest(t, 4, 4)
+	p, _ := ProfileFor("lu")
+	p.Iterations = 60
+	app := Launch(k, p, 4, 0) // spin budget irrelevant for ad-hoc spin
+	pool.Start()
+	k.Boot()
+	if err := eng.RunUntil(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !app.Done() {
+		t.Fatal("lu did not complete")
+	}
+	// lu must show user-level spinning even with GOMP policy PASSIVE.
+	var spin sim.Time
+	for i := 0; i < 4; i++ {
+		spin += k.CPUStatsOf(i).UserSpinTime
+	}
+	if spin == 0 {
+		t.Fatal("lu's ad-hoc sync must busy-wait")
+	}
+}
+
+func TestLaunchIOAppCompletes(t *testing.T) {
+	eng, pool, k := newGuest(t, 4, 4)
+	p, _ := ProfileFor("dc")
+	p.Iterations = 30
+	app := Launch(k, p, 4, guest.SpinBudgetFromCount(0))
+	pool.Start()
+	k.Boot()
+	if err := eng.RunUntil(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !app.Done() {
+		t.Fatal("dc did not complete")
+	}
+}
+
+func TestSpinPolicyChangesFutexUsage(t *testing.T) {
+	run := func(spin uint64) uint64 {
+		eng, pool, k := newGuest(t, 4, 4)
+		p, _ := ProfileFor("sp")
+		p.Iterations = 50
+		Launch(k, p, 4, guest.SpinBudgetFromCount(spin))
+		pool.Start()
+		k.Boot()
+		if err := eng.RunUntil(60 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		return k.FutexWaits
+	}
+	active := run(30_000_000_000)
+	passive := run(0)
+	if active != 0 {
+		t.Fatalf("ACTIVE policy slept %d times on dedicated CPUs", active)
+	}
+	if passive == 0 {
+		t.Fatal("PASSIVE policy never slept")
+	}
+}
+
+func TestEightThreadLaunch(t *testing.T) {
+	eng, pool, k := newGuest(t, 8, 8)
+	p, _ := ProfileFor("mg")
+	p.Iterations = 30
+	app := Launch(k, p, 8, guest.SpinBudgetFromCount(300_000))
+	pool.Start()
+	k.Boot()
+	if err := eng.RunUntil(60 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !app.Done() || len(app.Threads()) != 8 {
+		t.Fatal("8-thread mg failed")
+	}
+}

@@ -1,0 +1,283 @@
+// Package parsec models the synchronisation skeletons of the PARSEC 3.0
+// suite (paper Figures 11, 12, 13). PARSEC applications are pthread
+// programs whose thread coordination runs through mutexes and condition
+// variables (futex wait/wake with reschedule IPIs); freqmine is the one
+// OpenMP member. Each profile captures a shape class — data-parallel
+// with coarse joins, pipeline with producer/consumer queues, or
+// barrier-structured phases — with parameters fitted to the paper's IPI
+// profiling (Figure 13: dedup ~940 IPIs/vCPU/s, streamcluster ~183, the
+// well-partitioned codes near zero).
+package parsec
+
+import (
+	"fmt"
+
+	"vscale/internal/guest"
+	"vscale/internal/sim"
+	"vscale/internal/workload"
+)
+
+// Shape classifies an application's coordination structure.
+type Shape int
+
+// Coordination shapes.
+const (
+	// DataParallel: threads compute independently with a few join
+	// points (pthread barrier built on mutex+cond).
+	DataParallel Shape = iota
+	// Pipeline: stages connected by bounded queues with heavy
+	// signal/wait traffic (dedup, ferret, x264-style).
+	Pipeline
+	// PhaseBarrier: tight barrier-synchronised phases built over
+	// mutex+cond (streamcluster's custom barrier).
+	PhaseBarrier
+	// OpenMP: freqmine; OpenMP barrier with the default 300K spincount.
+	OpenMP
+	// NoSync: embarrassingly parallel, no synchronisation primitives at
+	// all (swaptions).
+	NoSync
+)
+
+// Profile describes one PARSEC application.
+type Profile struct {
+	Name  string
+	Shape Shape
+	// Iterations is the number of outer phases (or items per thread for
+	// pipelines).
+	Iterations int
+	// SegMean is the mean compute between coordination points.
+	SegMean sim.Time
+	// Skew is the per-segment imbalance.
+	Skew float64
+	// QueueOpsPerItem, for pipelines, is how many lock/signal rounds one
+	// item costs per stage.
+	QueueOpsPerItem int
+	// LockLen is the critical-section length for queue/lock operations.
+	LockLen sim.Time
+}
+
+// Profiles returns the 13 applications in the paper's figure order.
+func Profiles() []Profile {
+	ms := func(f float64) sim.Time { return sim.FromMillis(f) }
+	us := func(f float64) sim.Time { return sim.FromMicros(f) }
+	return []Profile{
+		{Name: "blackscholes", Shape: DataParallel, Iterations: 150, SegMean: ms(25), Skew: 0.05},
+		{Name: "bodytrack", Shape: PhaseBarrier, Iterations: 2000, SegMean: ms(1.6), Skew: 0.30},
+		{Name: "canneal", Shape: DataParallel, Iterations: 1000, SegMean: ms(3.5), Skew: 0.25},
+		{Name: "dedup", Shape: Pipeline, Iterations: 12000, SegMean: us(320), Skew: 0.30, QueueOpsPerItem: 2, LockLen: us(3)},
+		{Name: "facesim", Shape: PhaseBarrier, Iterations: 1500, SegMean: ms(2.4), Skew: 0.30},
+		{Name: "ferret", Shape: Pipeline, Iterations: 3200, SegMean: ms(1.1), Skew: 0.20, QueueOpsPerItem: 1, LockLen: us(3)},
+		{Name: "fluidanimate", Shape: PhaseBarrier, Iterations: 1800, SegMean: ms(1.8), Skew: 0.35},
+		{Name: "freqmine", Shape: OpenMP, Iterations: 1600, SegMean: ms(2.2), Skew: 0.15},
+		{Name: "raytrace", Shape: DataParallel, Iterations: 250, SegMean: ms(14), Skew: 0.10},
+		{Name: "streamcluster", Shape: PhaseBarrier, Iterations: 3800, SegMean: ms(0.9), Skew: 0.30},
+		{Name: "swaptions", Shape: NoSync, Iterations: 90, SegMean: ms(45), Skew: 0.05},
+		{Name: "vips", Shape: Pipeline, Iterations: 3500, SegMean: ms(1.0), Skew: 0.25, QueueOpsPerItem: 1, LockLen: us(3)},
+		{Name: "x264", Shape: Pipeline, Iterations: 2700, SegMean: ms(1.3), Skew: 0.30, QueueOpsPerItem: 1, LockLen: us(3)},
+	}
+}
+
+// ProfileFor returns the profile with the given name.
+func ProfileFor(name string) (Profile, error) {
+	for _, p := range Profiles() {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Profile{}, fmt.Errorf("parsec: unknown application %q", name)
+}
+
+// Names lists application names in figure order.
+func Names() []string {
+	ps := Profiles()
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// Launch starts the application with nThreads workers. ompSpinBudget
+// applies only to the OpenMP member (freqmine).
+func Launch(k *guest.Kernel, p Profile, nThreads int, ompSpinBudget sim.Time) *workload.App {
+	app := workload.NewApp(k, "parsec/"+p.Name)
+	switch p.Shape {
+	case NoSync:
+		launchNoSync(app, p, nThreads)
+	case DataParallel:
+		launchCondBarrier(k, app, p, nThreads, 1)
+	case PhaseBarrier:
+		launchCondBarrier(k, app, p, nThreads, 0)
+	case Pipeline:
+		launchPipeline(k, app, p, nThreads)
+	case OpenMP:
+		launchOpenMP(k, app, p, nThreads, ompSpinBudget)
+	}
+	return app
+}
+
+func launchNoSync(app *workload.App, p Profile, n int) {
+	for th := 0; th < n; th++ {
+		pp := p
+		app.Go(fmt.Sprintf("%s.%d", p.Name, th), &workload.RandLoop{
+			N: p.Iterations,
+			Body: func(int) []any {
+				lo := sim.Time(float64(pp.SegMean) * (1 - pp.Skew))
+				hi := sim.Time(float64(pp.SegMean) * (1 + pp.Skew))
+				return []any{workload.RandCompute(lo, hi)}
+			},
+		})
+	}
+}
+
+// condBarrier is a pthread-style barrier built from a mutex and a
+// condition variable (as streamcluster hand-rolls): arrive under the
+// lock; the last arriver broadcasts, others cond-wait.
+type condBarrier struct {
+	m       *guest.Mutex
+	cv      *guest.Cond
+	n       int
+	arrived int
+	gen     uint64
+}
+
+func newCondBarrier(k *guest.Kernel, n int) *condBarrier {
+	return &condBarrier{m: k.NewMutex(), cv: k.NewCond(), n: n}
+}
+
+// actions returns the action sequence for one barrier episode: take the
+// mutex, then decide under the lock (via a Dynamic node, expanded only
+// after ActLock completed) whether to broadcast or cond-wait.
+func (b *condBarrier) actions() []any {
+	return []any{
+		guest.ActLock{M: b.m},
+		workload.Dynamic(func(t *guest.Thread) []guest.Action {
+			// Executed while holding b.m: arrivals are serialised, so
+			// a broadcast can never race past a waiter's registration.
+			b.arrived++
+			if b.arrived == b.n {
+				b.arrived = 0
+				b.gen++
+				return []guest.Action{
+					guest.ActCompute{D: 200 * sim.Nanosecond},
+					guest.ActCondBroadcast{C: b.cv},
+					guest.ActUnlock{M: b.m},
+				}
+			}
+			return []guest.Action{
+				guest.ActCompute{D: 200 * sim.Nanosecond},
+				guest.ActCondWait{C: b.cv, M: b.m},
+				guest.ActUnlock{M: b.m},
+			}
+		}),
+	}
+}
+
+func launchCondBarrier(k *guest.Kernel, app *workload.App, p Profile, n, joinEvery int) {
+	b := newCondBarrier(k, n)
+	for th := 0; th < n; th++ {
+		pp := p
+		app.Go(fmt.Sprintf("%s.%d", p.Name, th), &workload.RandLoop{
+			N: p.Iterations,
+			Body: func(iter int) []any {
+				lo := sim.Time(float64(pp.SegMean) * (1 - pp.Skew))
+				hi := sim.Time(float64(pp.SegMean) * (1 + pp.Skew))
+				acts := []any{workload.RandCompute(lo, hi)}
+				acts = append(acts, b.actions()...)
+				return acts
+			},
+		})
+	}
+	_ = joinEvery
+}
+
+// launchPipeline: stage 0 produces items into queue 1; middle stages
+// consume and forward; the last stage consumes. Queues are WaitQueues
+// with mutex-protected head/tail bookkeeping to generate the futex/IPI
+// traffic dedup exhibits.
+func launchPipeline(k *guest.Kernel, app *workload.App, p Profile, n int) {
+	stages := n
+	if stages < 2 {
+		stages = 2
+	}
+	// Bounded inter-stage queues: a small capacity gives real pipeline
+	// backpressure, so a stalled stage (its vCPU preempted) throttles
+	// the whole pipeline instead of being papered over by buffering.
+	queues := make([]*guest.WaitQueue, stages-1)
+	locks := make([]*guest.Mutex, stages-1)
+	for i := range queues {
+		queues[i] = k.NewWaitQueue(4)
+		locks[i] = k.NewMutex()
+	}
+	items := p.Iterations
+
+	// Pipeline stages are heterogeneous (dedup's chunking and hashing
+	// are far lighter than compression): light stages pack onto shared
+	// vCPUs almost for free when vScale shrinks the VM, while the
+	// bottleneck stage keeps a vCPU to itself.
+	stageWeights := []float64{0.6, 1.4, 0.8, 1.2}
+	stageRange := func(s int) (sim.Time, sim.Time) {
+		w := stageWeights[s%len(stageWeights)]
+		lo := sim.Time(float64(p.SegMean) * w * (1 - p.Skew))
+		hi := sim.Time(float64(p.SegMean) * w * (1 + p.Skew))
+		return lo, hi
+	}
+
+	// Producer (stage 0).
+	pp := p
+	lo, hi := stageRange(0)
+	app.Go(p.Name+".s0", &workload.RandLoop{
+		N: items,
+		Body: func(i int) []any {
+			acts := []any{workload.RandCompute(lo, hi)}
+			for op := 0; op < pp.QueueOpsPerItem; op++ {
+				acts = append(acts,
+					guest.ActLock{M: locks[0]},
+					guest.ActCompute{D: pp.LockLen},
+					guest.ActUnlock{M: locks[0]},
+				)
+			}
+			acts = append(acts, guest.ActEnqueue{Q: queues[0], Item: i})
+			return acts
+		},
+	})
+
+	// Middle and final stages.
+	for s := 1; s < stages; s++ {
+		s := s
+		slo, shi := stageRange(s)
+		app.Go(fmt.Sprintf("%s.s%d", p.Name, s), &workload.RandLoop{
+			N: items,
+			Body: func(i int) []any {
+				acts := []any{guest.ActDequeue{Q: queues[s-1]}}
+				acts = append(acts, workload.RandCompute(slo, shi))
+				if s < stages-1 {
+					for op := 0; op < pp.QueueOpsPerItem; op++ {
+						acts = append(acts,
+							guest.ActLock{M: locks[s]},
+							guest.ActCompute{D: pp.LockLen},
+							guest.ActUnlock{M: locks[s]},
+						)
+					}
+					acts = append(acts, guest.ActEnqueue{Q: queues[s], Item: i})
+				}
+				return acts
+			},
+		})
+	}
+}
+
+func launchOpenMP(k *guest.Kernel, app *workload.App, p Profile, n int, spinBudget sim.Time) {
+	b := k.NewBarrier(n, spinBudget)
+	for th := 0; th < n; th++ {
+		pp := p
+		app.Go(fmt.Sprintf("%s.%d", p.Name, th), &workload.RandLoop{
+			N: p.Iterations,
+			Body: func(int) []any {
+				lo := sim.Time(float64(pp.SegMean) * (1 - pp.Skew))
+				hi := sim.Time(float64(pp.SegMean) * (1 + pp.Skew))
+				return []any{workload.RandCompute(lo, hi), guest.ActBarrierWait{B: b}}
+			},
+		})
+	}
+}

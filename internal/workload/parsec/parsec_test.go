@@ -1,0 +1,166 @@
+package parsec
+
+import (
+	"testing"
+
+	"vscale/internal/guest"
+	"vscale/internal/sim"
+	"vscale/internal/workload"
+	"vscale/internal/xen"
+)
+
+func newGuest(t *testing.T, pcpus, vcpus int) (*sim.Engine, *xen.Pool, *guest.Kernel) {
+	t.Helper()
+	eng := sim.NewEngine(17)
+	pool := xen.NewPool(eng, xen.DefaultConfig(pcpus))
+	dom := pool.AddDomain("vm", 256, vcpus, nil)
+	k := guest.NewKernel(dom, guest.DefaultConfig())
+	return eng, pool, k
+}
+
+func TestProfilesComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 13 {
+		t.Fatalf("apps = %d, want 13 PARSEC members", len(names))
+	}
+	for _, n := range names {
+		p, err := ProfileFor(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Iterations <= 0 || p.SegMean <= 0 {
+			t.Fatalf("%s: degenerate profile", n)
+		}
+	}
+	if _, err := ProfileFor("doom"); err == nil {
+		t.Fatal("unknown app must error")
+	}
+}
+
+func TestShapeAssignments(t *testing.T) {
+	shapes := map[string]Shape{
+		"dedup":         Pipeline,
+		"streamcluster": PhaseBarrier,
+		"freqmine":      OpenMP,
+		"swaptions":     NoSync,
+		"blackscholes":  DataParallel,
+	}
+	for name, want := range shapes {
+		p, _ := ProfileFor(name)
+		if p.Shape != want {
+			t.Fatalf("%s shape = %v, want %v", name, p.Shape, want)
+		}
+	}
+}
+
+func launchSmall(t *testing.T, name string, iters, vcpus int) (*sim.Engine, *guest.Kernel, bool) {
+	t.Helper()
+	eng, pool, k := newGuest(t, vcpus, vcpus)
+	p, err := ProfileFor(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Iterations = iters
+	app := Launch(k, p, vcpus, guest.SpinBudgetFromCount(300_000))
+	pool.Start()
+	k.Boot()
+	if err := eng.RunUntil(120 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	return eng, k, app.Done()
+}
+
+func TestEveryShapeCompletes(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		iters int
+	}{
+		{"blackscholes", 8},
+		{"bodytrack", 60},
+		{"dedup", 300},
+		{"freqmine", 60},
+		{"streamcluster", 80},
+		{"swaptions", 6},
+		{"x264", 120},
+	} {
+		if _, _, done := launchSmall(t, tc.name, tc.iters, 4); !done {
+			t.Fatalf("%s did not complete", tc.name)
+		}
+	}
+}
+
+func TestPipelineBackpressure(t *testing.T) {
+	// The pipeline's bounded queues must block fast producers: with a
+	// heavy late stage, the producer cannot run far ahead.
+	eng, pool, k := newGuest(t, 4, 4)
+	p, _ := ProfileFor("dedup")
+	p.Iterations = 400
+	app := Launch(k, p, 4, 0)
+	pool.Start()
+	k.Boot()
+	if err := eng.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Mid-run: producer (stage 0, weight 0.6) would be thousands of
+	// items ahead without backpressure; sleeps prove it blocked.
+	producer := app.Threads()[0]
+	if producer.Sleeps == 0 {
+		t.Fatal("producer never blocked: bounded queues not enforcing backpressure")
+	}
+	if err := eng.RunUntil(120 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !app.Done() {
+		t.Fatal("dedup did not complete")
+	}
+}
+
+func TestCondBarrierSynchronises(t *testing.T) {
+	// streamcluster's mutex+cond barrier: all threads complete the same
+	// number of phases and futexes are exercised.
+	eng, k, done := launchSmall(t, "streamcluster", 50, 4)
+	_ = eng
+	if !done {
+		t.Fatal("streamcluster did not complete")
+	}
+	if k.FutexWaits == 0 || k.FutexWakes == 0 {
+		t.Fatal("cond barrier must sleep/wake through futexes")
+	}
+}
+
+func TestIPICharacterGap(t *testing.T) {
+	// dedup is communication-heavy, swaptions has no sync: IPI rates
+	// must differ by orders of magnitude (Figure 13's contrast). The
+	// rate is measured over the app's own execution time.
+	rate := func(name string, iters int) float64 {
+		eng, pool, k := newGuest(t, 4, 4)
+		p, err := ProfileFor(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.Iterations = iters
+		app := Launch(k, p, 4, guest.SpinBudgetFromCount(300_000))
+		app.OnDone = func(*workload.App) { eng.Stop() }
+		pool.Start()
+		k.Boot()
+		if err := eng.RunUntil(120 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		if !app.Done() {
+			t.Fatalf("%s did not complete", name)
+		}
+		var ipis uint64
+		for i := 0; i < 4; i++ {
+			ipis += k.CPUStatsOf(i).ReschedIPIs
+		}
+		return float64(ipis) / app.ExecTime().Seconds() / 4
+	}
+	dedup := rate("dedup", 2000)
+	swap := rate("swaptions", 8)
+	if dedup < 100 {
+		t.Fatalf("dedup IPI rate = %.0f/vCPU/s, want hundreds", dedup)
+	}
+	if swap > dedup/10 {
+		t.Fatalf("swaptions %.1f vs dedup %.1f: want >10x gap", swap, dedup)
+	}
+}

@@ -1,0 +1,84 @@
+package vscale
+
+import (
+	"testing"
+)
+
+func TestFacadeExtendability(t *testing.T) {
+	res := ComputeExtendability([]VMStat{
+		{ID: "busy", Weight: 2, Consumption: 8 * 10 * Millisecond, MaxVCPUs: 4},
+		{ID: "idle", Weight: 2, Consumption: 0, MaxVCPUs: 2},
+	}, 8, 10*Millisecond)
+	if len(res) != 2 {
+		t.Fatal("results missing")
+	}
+	if !res[0].Competitor || res[0].OptimalVCPUs != 4 {
+		t.Fatalf("busy VM: %+v", res[0])
+	}
+	if res[1].Competitor || res[1].OptimalVCPUs != 2 {
+		t.Fatalf("idle VM: %+v", res[1])
+	}
+}
+
+func TestFacadeGovernor(t *testing.T) {
+	g := NewGovernor(1, 8, 8, 1)
+	g.Observe(2)
+	if got := g.Observe(2); got != 2 {
+		t.Fatalf("governor = %d", got)
+	}
+}
+
+func TestFacadeFreezePlan(t *testing.T) {
+	p := FreezePlan{TargetVCPU: 3, MigratableThreads: 5, DeviceIRQs: 1}
+	if p.MasterCost() != 2100 {
+		t.Fatalf("master cost = %v, want 2.10µs", p.MasterCost())
+	}
+	if p.TotalExpected() <= p.MasterCost() {
+		t.Fatal("target work missing from total")
+	}
+}
+
+func TestFacadeScenarioQuickRun(t *testing.T) {
+	s := DefaultSetup()
+	s.Mode = VScale
+	b := NewScenario(s)
+	if b.K == nil || b.VM == nil || b.Pool == nil {
+		t.Fatal("scenario incomplete")
+	}
+	if err := b.Eng.RunUntil(500 * Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if b.VM.TotalRunTime != 0 {
+		t.Fatal("idle VM should not have consumed CPU yet")
+	}
+	// Background desktops must be consuming.
+	var bg Time
+	for _, d := range b.Pool.Domains() {
+		if d.Name != "vm" {
+			bg += d.TotalRunTime
+		}
+	}
+	if bg == 0 {
+		t.Fatal("background VMs idle")
+	}
+}
+
+func TestFacadeSpinBudget(t *testing.T) {
+	if SpinBudgetFromCount(0) != 0 {
+		t.Fatal("zero spincount must give zero budget")
+	}
+	if SpinBudgetFromCount(300_000) != 600*Microsecond {
+		t.Fatalf("300K spincount = %v, want 600µs at 2ns/check", SpinBudgetFromCount(300_000))
+	}
+	if SpinBudgetFromCount(30_000_000_000) <= SpinBudgetFromCount(300_000) {
+		t.Fatal("budget not monotone")
+	}
+}
+
+func TestFacadeModes(t *testing.T) {
+	for _, m := range []Mode{Baseline, PVLock, VScale, VScalePVLock} {
+		if m.String() == "" {
+			t.Fatal("mode label empty")
+		}
+	}
+}
