@@ -19,15 +19,28 @@ import (
 	"time"
 
 	"vscale/internal/experiments"
+	"vscale/internal/report"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
+	"vscale/internal/trace"
 )
 
 func main() {
 	runList := flag.String("run", "all", "comma-separated experiments to run (or 'all')")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	window := flag.Float64("window", 20, "Apache measurement window per load level, seconds")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this path")
+	schedstats := flag.Bool("schedstats", false, "print aggregate per-vCPU scheduling statistics")
+	tracecap := flag.Int("tracecap", trace.DefaultRingCapacity, "trace ring capacity (events)")
 	flag.Parse()
+
+	var tr *trace.Tracer
+	if *traceOut != "" || *schedstats {
+		tr = trace.New(trace.Config{RingCapacity: *tracecap})
+		// Every scenario built by the experiments shares this tracer;
+		// exported timelines from separate runs overlap.
+		scenario.DefaultTracer = tr
+	}
 
 	selected := map[string]bool{}
 	for _, s := range strings.Split(*runList, ",") {
@@ -151,6 +164,31 @@ func main() {
 	if want("extension") {
 		section("Extension — §7 future work: vScale-aware adaptive OpenMP teams")
 		fmt.Fprint(out, experiments.ExtensionAdaptiveTeam("cg").Render())
+	}
+
+	if tr != nil {
+		end := tr.MaxAt()
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := tr.WriteChrome(f, end); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(out, "\nwrote Chrome trace to %s (%d events recorded, %d dropped)\n",
+				*traceOut, tr.Total(), tr.Dropped())
+		}
+		if *schedstats {
+			fmt.Fprintln(out)
+			fmt.Fprint(out, report.RenderSchedStats(tr.Snapshot(end)))
+		}
 	}
 
 	fmt.Fprintf(out, "\nall experiments done in %v (modes: %v)\n", time.Since(start).Round(time.Millisecond), scenario.Modes())

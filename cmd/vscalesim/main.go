@@ -5,10 +5,14 @@
 // Usage:
 //
 //	vscalesim -workload npb:cg -mode vscale -vcpus 4 -pcpus 8 \
-//	          -spincount 300000 [-trace] [-seed 1]
+//	          -spincount 300000 [-trace out.json] [-schedstats] [-seed 1]
 //
 // Workloads: npb:<bt|cg|dc|ep|ft|is|lu|mg|sp|ua>,
 // parsec:<blackscholes|...|x264>, kernel-build, httpd:<rateK>.
+//
+// -trace writes a Chrome trace-event JSON file loadable in Perfetto
+// (ui.perfetto.dev) or chrome://tracing; -schedstats prints per-vCPU
+// scheduling statistics. See docs/observability.md.
 package main
 
 import (
@@ -19,8 +23,10 @@ import (
 	"strings"
 
 	"vscale/internal/guest"
+	"vscale/internal/report"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
+	"vscale/internal/trace"
 	"vscale/internal/workload"
 	"vscale/internal/workload/httpd"
 	"vscale/internal/workload/npb"
@@ -34,7 +40,10 @@ func main() {
 	pcpus := flag.Int("pcpus", 8, "pCPUs in the domU pool")
 	spin := flag.Uint64("spincount", 300_000, "GOMP_SPINCOUNT for OpenMP workloads")
 	seed := flag.Uint64("seed", 1, "simulation seed")
-	trace := flag.Bool("trace", false, "print the active-vCPU trace")
+	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file to this path")
+	schedstats := flag.Bool("schedstats", false, "print per-vCPU scheduling statistics")
+	tracecap := flag.Int("tracecap", trace.DefaultRingCapacity, "trace ring capacity (events)")
+	activetrace := flag.Bool("activetrace", false, "print the active-vCPU trace")
 	nobg := flag.Bool("dedicated", false, "no background VMs")
 	maxSecs := flag.Float64("max", 600, "simulation deadline, seconds")
 	flag.Parse()
@@ -60,8 +69,11 @@ func main() {
 	s.PCPUs = *pcpus
 	s.Seed = *seed
 	s.NoBackground = *nobg
+	if *traceOut != "" || *schedstats {
+		s.Tracer = trace.New(trace.Config{RingCapacity: *tracecap})
+	}
 	b := scenario.Build(s)
-	if *trace {
+	if *activetrace {
 		b.K.StartTrace(100 * sim.Millisecond)
 	}
 
@@ -112,11 +124,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	if *trace {
+	if *activetrace {
 		fmt.Println("\nactive-vCPU trace:")
 		for _, p := range b.K.Trace() {
 			fmt.Printf("  t=%6.2fs  active=%d %s\n", p.At.Seconds(), p.Active,
 				strings.Repeat("#", p.Active))
+		}
+	}
+
+	if tr := b.Tracer; tr != nil {
+		end := b.Eng.Now()
+		tr.SetEngineCounters(b.Eng.Scheduled, b.Eng.Cancelled, b.Eng.Processed)
+		if *traceOut != "" {
+			f, err := os.Create(*traceOut)
+			fatal(err)
+			fatal(tr.WriteChrome(f, end))
+			fatal(f.Close())
+			fmt.Printf("\nwrote Chrome trace to %s (%d events recorded, %d dropped)\n",
+				*traceOut, tr.Total(), tr.Dropped())
+		}
+		if *schedstats {
+			fmt.Println()
+			fmt.Print(report.RenderSchedStats(tr.Snapshot(end)))
 		}
 	}
 }

@@ -22,6 +22,7 @@ func (k *Kernel) FreezeVCPU(target int) error {
 		return fmt.Errorf("guest: vCPU %d already frozen", target)
 	}
 	k.FreezeOps++
+	k.tracer().FreezeOp(k.eng.Now(), k.dom.ID(), target, true)
 	master := k.cpus[0]
 
 	// Steps (1)-(4): serialised master-side bookkeeping. The individual
@@ -50,6 +51,7 @@ func (k *Kernel) UnfreezeVCPU(target int) error {
 		return fmt.Errorf("guest: vCPU %d not frozen", target)
 	}
 	k.UnfreezeOps++
+	k.tracer().FreezeOp(k.eng.Now(), k.dom.ID(), target, false)
 	master := k.cpus[0]
 	k.chargeInterrupt(master, core.MasterCost()-costmodel.RescheduleIPISend)
 	k.freezeMask &^= 1 << uint(target)

@@ -98,8 +98,10 @@ func (d *daemon) reconcile(target int) {
 		// the sampled latency, then allow the next decision.
 		d.reconfiguring = true
 		d.Decisions++
-		k.eng.After(delay(k.rand), "guest/slow-reconfig", func() {
+		dly := delay(k.rand)
+		k.eng.After(dly, "guest/slow-reconfig", func() {
 			d.reconfiguring = false
+			k.tracer().Hotplug(k.eng.Now(), k.dom.ID(), dly, "reconfig")
 			if k.ActiveVCPUs() > target {
 				for i := k.NCPUs() - 1; i >= 1; i-- {
 					if !k.Frozen(i) {

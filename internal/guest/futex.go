@@ -16,8 +16,9 @@ type KernelLock struct {
 	k    *Kernel
 	Name string
 
-	holder  *cpu
-	waiters []*cpu // FIFO ticket order
+	holder    *cpu
+	heldSince sim.Time
+	waiters   []*cpu // FIFO ticket order
 
 	// Stats.
 	Acquisitions uint64
@@ -45,6 +46,8 @@ func (k *Kernel) bucketFor(id uint64) *KernelLock {
 func (k *Kernel) acquireKernelLock(c *cpu, l *KernelLock) bool {
 	if l.holder == nil {
 		l.holder = c
+		l.heldSince = k.eng.Now()
+		c.locksHeld++
 		l.Acquisitions++
 		return true
 	}
@@ -98,13 +101,20 @@ func (k *Kernel) releaseKernelLock(c *cpu, l *KernelLock) {
 	if l.holder != c {
 		panic("guest: releasing a kernel lock not held by this CPU")
 	}
+	now := k.eng.Now()
+	if tr := k.tracer(); tr != nil {
+		tr.SpinHold(now, k.dom.ID(), c.id, now-l.heldSince, l.Name)
+	}
 	l.holder = nil
+	c.locksHeld--
 	if len(l.waiters) == 0 {
 		return
 	}
 	next := l.waiters[0]
 	l.waiters = l.waiters[1:]
 	l.holder = next
+	l.heldSince = now
+	next.locksHeld++
 	l.Acquisitions++
 	k.grantKernelLock(next)
 }
@@ -156,6 +166,7 @@ func (k *Kernel) futexQ(key uint64) *futexQueue {
 // The caller must already hold (and have charged) the bucket lock.
 func (k *Kernel) futexEnqueue(c *cpu, t *Thread, key uint64) {
 	k.FutexWaits++
+	k.tracer().FutexWait(k.eng.Now(), k.dom.ID(), c.id)
 	q := k.futexQ(key)
 	q.waiters = append(q.waiters, t)
 	k.sleepCurrent(c, t)
@@ -173,6 +184,9 @@ func (k *Kernel) futexWakeAll(c *cpu, key uint64, n int) int {
 		k.wakeThread(t, c.id)
 		woken++
 		k.FutexWakes++
+	}
+	if woken > 0 {
+		k.tracer().FutexWake(k.eng.Now(), k.dom.ID(), c.id, woken)
 	}
 	return woken
 }

@@ -16,6 +16,7 @@ import (
 
 	"vscale/internal/costmodel"
 	"vscale/internal/sim"
+	"vscale/internal/trace"
 	"vscale/internal/xen"
 )
 
@@ -155,6 +156,13 @@ type cpu struct {
 	// needResched marks a pending deferred wakeup-preemption check.
 	needResched bool
 
+	// locksHeld counts kernel locks currently held by this CPU; being
+	// descheduled with locksHeld > 0 is a lock-holder preemption.
+	locksHeld int
+	// lhpSince/lhpActive track an in-flight LHP incident for tracing.
+	lhpSince  sim.Time
+	lhpActive bool
+
 	stats CPUStats
 }
 
@@ -264,6 +272,10 @@ func NewKernel(dom *xen.Domain, cfg Config) *Kernel {
 // Engine returns the simulation engine.
 func (k *Kernel) Engine() *sim.Engine { return k.eng }
 
+// tracer returns the pool's event tracer (nil when tracing is off; all
+// trace.Tracer methods are nil-safe).
+func (k *Kernel) tracer() *trace.Tracer { return k.pool.Tracer() }
+
 // Domain returns the hosting domain.
 func (k *Kernel) Domain() *xen.Domain { return k.dom }
 
@@ -325,6 +337,12 @@ func (k *Kernel) Boot() {
 func (k *Kernel) Dispatched(id int) {
 	c := k.cpus[id]
 	c.running = true
+	if c.lhpActive {
+		// The vCPU was preempted while holding a kernel lock and only
+		// now gets the pCPU back: close the lock-holder-preemption span.
+		c.lhpActive = false
+		k.tracer().LHP(k.eng.Now(), k.dom.ID(), c.id, k.eng.Now()-c.lhpSince)
+	}
 	c.tick.Reset(k.cfg.Tick)
 	k.resume(c)
 }
@@ -336,6 +354,12 @@ func (k *Kernel) Descheduled(id int) {
 		return
 	}
 	c.running = false
+	if tr := k.tracer(); tr != nil && c.locksHeld > 0 {
+		// Lock-holder preemption begins: waiters will spin until this
+		// vCPU runs again.
+		c.lhpActive = true
+		c.lhpSince = k.eng.Now()
+	}
 	c.tick.Stop()
 	k.pauseSegment(c)
 	if c.idleBlock != nil {
@@ -462,6 +486,9 @@ func (k *Kernel) segmentDone(c *cpu) {
 	if t.kspinGranted {
 		// A contended kernel-lock acquire finally succeeded.
 		t.kspinGranted = false
+		if tr := k.tracer(); tr != nil && c.kspinSpun > 0 {
+			tr.SpinWait(k.eng.Now(), k.dom.ID(), c.id, c.kspinSpun, "kernel-lock")
+		}
 		k.runCont(c, t)
 		return
 	}

@@ -20,7 +20,10 @@ type Counter struct {
 // Inc adds one.
 func (c *Counter) Inc() { c.n++ }
 
-// Add adds delta; negative deltas panic (counters are monotone).
+// Add adds delta. The parameter is unsigned, so monotonicity holds by
+// construction (a negative delta cannot be expressed). The addition is
+// unchecked: a sum past 2^64-1 wraps around, which no simulation gets
+// anywhere near (that would be ~584 years of nanosecond-rate events).
 func (c *Counter) Add(delta uint64) { c.n += delta }
 
 // Value returns the current count.

@@ -1,0 +1,67 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"vscale/internal/sim"
+	"vscale/internal/trace"
+)
+
+// RenderSchedStats renders a trace snapshot as the plain-text schedstats
+// report: one row per vCPU with dwell times per state (which sum to the
+// vCPU's lifetime), wakeup-to-run latency, lock-holder preemption and
+// IPI delivery statistics, followed by ring and engine accounting.
+func RenderSchedStats(s *trace.Snapshot) string {
+	var b strings.Builder
+	t := NewTable(
+		fmt.Sprintf("schedstats @ %v", s.End),
+		"vcpu", "run", "runnable", "blocked", "frozen", "total",
+		"wakeups", "wake-avg", "wake-p99", "lhp", "lhp-time", "ipi-avg", "steals", "futex w/w",
+	)
+	for i := range s.VCPUs {
+		v := &s.VCPUs[i]
+		name := v.DomName
+		if name == "" {
+			name = fmt.Sprintf("dom%d", v.Dom)
+		}
+		t.AddRow(
+			fmt.Sprintf("%s.%d", name, v.VCPU),
+			fmtDwell(v.Dwell[trace.VRun]),
+			fmtDwell(v.Dwell[trace.VRunnable]),
+			fmtDwell(v.Dwell[trace.VBlocked]),
+			fmtDwell(v.Dwell[trace.VFrozen]),
+			fmtDwell(v.Total),
+			fmt.Sprintf("%d", v.WakeCount),
+			fmtUs(v.WakeMeanUs, v.WakeCount),
+			fmtUs(v.WakeP99Us, v.WakeCount),
+			fmt.Sprintf("%d", v.LHPCount),
+			fmtDwell(v.LHPTotal),
+			fmtUs(v.IPIMeanUs, v.IPICount),
+			fmt.Sprintf("%d", v.Steals),
+			fmt.Sprintf("%d/%d", v.FutexWaits, v.FutexWakes),
+		)
+	}
+	b.WriteString(t.String())
+	fmt.Fprintf(&b, "\ntrace ring: %d recorded, %d retained, %d dropped\n",
+		s.RingTotal, s.RingRetained, s.RingDropped)
+	if s.HaveEngine {
+		pending := s.EngScheduled - s.EngCancelled - s.EngFired
+		fmt.Fprintf(&b, "engine events: %d scheduled = %d fired + %d cancelled + %d pending\n",
+			s.EngScheduled, s.EngFired, s.EngCancelled, pending)
+	}
+	return b.String()
+}
+
+// fmtDwell renders a dwell duration compactly in milliseconds.
+func fmtDwell(d sim.Time) string {
+	return fmt.Sprintf("%.3fms", d.Milliseconds())
+}
+
+// fmtUs renders a microsecond statistic, or "-" when no samples exist.
+func fmtUs(us float64, count uint64) string {
+	if count == 0 {
+		return "-"
+	}
+	return fmt.Sprintf("%.1fus", us)
+}

@@ -11,6 +11,7 @@ import (
 
 	"vscale/internal/guest"
 	"vscale/internal/sim"
+	"vscale/internal/trace"
 	"vscale/internal/workload"
 	"vscale/internal/xen"
 )
@@ -96,7 +97,20 @@ type Setup struct {
 	// Background, when non-nil, overrides the slideshow profile of the
 	// background VMs entirely.
 	Background *workload.Slideshow
+
+	// Tracer, when non-nil, receives trace records from all three layers
+	// (sim engine dispatches, hypervisor scheduling, guest kernel). When
+	// nil, the package-level DefaultTracer (if any) is used. Tracing is
+	// purely observational: enabling it never changes simulation results.
+	Tracer *trace.Tracer
 }
+
+// DefaultTracer, when set, is attached to every scenario built without
+// an explicit Setup.Tracer. The experiment CLIs use it to trace runs
+// they do not construct themselves. Runs share the tracer, so exported
+// timelines from different engines overlap; prefer Setup.Tracer when
+// tracing a single run.
+var DefaultTracer *trace.Tracer
 
 // DefaultSetup returns the paper-like configuration: 8 pool pCPUs, a
 // 4-vCPU VM, 2:1 consolidation.
@@ -112,12 +126,13 @@ func DefaultSetup() Setup {
 
 // Built is an assembled scenario ready to run workloads on.
 type Built struct {
-	Setup Setup
-	Eng   *sim.Engine
-	Pool  *xen.Pool
-	VM    *xen.Domain
-	K     *guest.Kernel
-	BG    []*guest.Kernel
+	Setup  Setup
+	Eng    *sim.Engine
+	Pool   *xen.Pool
+	VM     *xen.Domain
+	K      *guest.Kernel
+	BG     []*guest.Kernel
+	Tracer *trace.Tracer // nil when tracing is disabled
 }
 
 // Build assembles the host, VM under test and background VMs. Guests are
@@ -130,11 +145,19 @@ func Build(s Setup) *Built {
 		s.ConsolidationRatio = 2
 	}
 	eng := sim.NewEngine(s.Seed)
+	tr := s.Tracer
+	if tr == nil {
+		tr = DefaultTracer
+	}
+	if tr != nil {
+		eng.SetObserver(tr.SimEvent)
+	}
 	xcfg := xen.DefaultConfig(s.PCPUs)
 	xcfg.Policy = s.Policy
 	xcfg.VScale = s.Mode == VScale || s.Mode == VScalePVLock
 	xcfg.PerVCPUWeight = s.PerVCPUWeight
 	pool := xen.NewPool(eng, xcfg)
+	pool.SetTracer(tr)
 
 	// Per-vCPU-equal weights: a domain's weight is proportional to its
 	// vCPU count (the paper configures weights so all vCPUs are treated
@@ -155,7 +178,7 @@ func Build(s Setup) *Built {
 	k := guest.NewKernel(vm, gcfg)
 	k.SpawnPerCPUKthreads()
 
-	b := &Built{Setup: s, Eng: eng, Pool: pool, VM: vm, K: k}
+	b := &Built{Setup: s, Eng: eng, Pool: pool, VM: vm, K: k, Tracer: tr}
 
 	nbg := s.BackgroundVMs
 	if nbg == 0 && !s.NoBackground {

@@ -1,0 +1,98 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+
+	"vscale/internal/guest"
+	"vscale/internal/sim"
+	"vscale/internal/trace"
+	"vscale/internal/workload"
+	"vscale/internal/workload/npb"
+)
+
+// runTraced builds and runs one cg scenario, optionally traced, and
+// returns the Built host plus the run result.
+func runTraced(t *testing.T, tr *trace.Tracer) (*Built, AppResult) {
+	t.Helper()
+	s := DefaultSetup()
+	s.Mode = VScale
+	s.Tracer = tr
+	b := Build(s)
+	p, err := npb.ProfileFor("cg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := b.RunApp(func(k *guest.Kernel) *workload.App {
+		return npb.Launch(k, p, s.VMVCPUs, guest.SpinBudgetFromCount(300_000))
+	}, 120*sim.Second)
+	if res.TimedOut {
+		t.Fatal("run timed out")
+	}
+	return b, res
+}
+
+// TestTraceExportDeterministic: two runs with the same seed produce
+// byte-identical Chrome exports.
+func TestTraceExportDeterministic(t *testing.T) {
+	var outs [2]bytes.Buffer
+	for i := 0; i < 2; i++ {
+		tr := trace.New(trace.Config{RingCapacity: 1 << 14})
+		b, _ := runTraced(t, tr)
+		tr.SetEngineCounters(b.Eng.Scheduled, b.Eng.Cancelled, b.Eng.Processed)
+		if err := tr.WriteChrome(&outs[i], b.Eng.Now()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(outs[0].Bytes(), outs[1].Bytes()) {
+		t.Fatalf("same seed produced different exports (%d vs %d bytes)",
+			outs[0].Len(), outs[1].Len())
+	}
+}
+
+// TestTracingHasZeroObserverEffect: enabling the tracer must not change
+// the simulation in any way — same results, same event counts.
+func TestTracingHasZeroObserverEffect(t *testing.T) {
+	bOff, resOff := runTraced(t, nil)
+	bOn, resOn := runTraced(t, trace.New(trace.Config{RingCapacity: 1 << 12}))
+
+	if resOff != resOn {
+		t.Fatalf("tracing changed the run result:\n  off: %+v\n  on:  %+v", resOff, resOn)
+	}
+	if bOff.Eng.Processed != bOn.Eng.Processed ||
+		bOff.Eng.Scheduled != bOn.Eng.Scheduled ||
+		bOff.Eng.Cancelled != bOn.Eng.Cancelled {
+		t.Fatalf("tracing changed engine event counts: off=(%d,%d,%d) on=(%d,%d,%d)",
+			bOff.Eng.Scheduled, bOff.Eng.Cancelled, bOff.Eng.Processed,
+			bOn.Eng.Scheduled, bOn.Eng.Cancelled, bOn.Eng.Processed)
+	}
+	if bOff.Eng.Now() != bOn.Eng.Now() {
+		t.Fatalf("tracing changed the final clock: %v vs %v", bOff.Eng.Now(), bOn.Eng.Now())
+	}
+	if bOn.Tracer.Total() == 0 {
+		t.Fatal("enabled tracer recorded nothing")
+	}
+}
+
+// TestScheduleDwellSumsToElapsed: every vCPU's dwell times must sum to
+// the elapsed virtual time within 0.1% (they are exact by construction;
+// the tolerance only covers the integer-ns arithmetic).
+func TestScheduleDwellSumsToElapsed(t *testing.T) {
+	tr := trace.New(trace.Config{RingCapacity: 1 << 12})
+	b, _ := runTraced(t, tr)
+	end := b.Eng.Now()
+	snap := tr.Snapshot(end)
+	if len(snap.VCPUs) == 0 {
+		t.Fatal("snapshot has no vCPUs")
+	}
+	for _, v := range snap.VCPUs {
+		diff := v.Total - end
+		if diff < 0 {
+			diff = -diff
+		}
+		if float64(diff) > 0.001*float64(end) {
+			t.Errorf("%s.vcpu%d dwell sum %v != elapsed %v (off by %v)",
+				v.DomName, v.VCPU, v.Total, end, diff)
+		}
+	}
+}

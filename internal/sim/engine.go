@@ -17,14 +17,18 @@ type Event struct {
 	index     int    // heap index, -1 when popped
 	fn        EventFunc
 	cancelled bool
+	fired     bool
 	label     string
 }
 
 // When returns the virtual time the event is scheduled for.
 func (e *Event) When() Time { return e.when }
 
-// Cancelled reports whether Cancel has been called on the event.
+// Cancelled reports whether the event was cancelled before firing.
 func (e *Event) Cancelled() bool { return e.cancelled }
+
+// Fired reports whether the event has executed.
+func (e *Event) Fired() bool { return e.fired }
 
 // Label returns the debug label given at scheduling time.
 func (e *Event) Label() string { return e.label }
@@ -58,6 +62,12 @@ func (h *eventHeap) Pop() any {
 	return e
 }
 
+// Observer receives every executed event (virtual timestamp plus the
+// label given at scheduling time). Cancelled events are never observed:
+// they are dropped silently when popped off the heap. Observers must be
+// pure with respect to simulation state — they exist for tracing.
+type Observer func(at Time, label string)
+
 // Engine is the discrete-event simulation core: a virtual clock and an
 // ordered queue of future events. Engines are not safe for concurrent
 // use; the entire simulation is single-threaded and deterministic.
@@ -67,10 +77,22 @@ type Engine struct {
 	queue   eventHeap
 	rand    *Rand
 	stopped bool
+	obs     Observer
 
 	// Processed counts events executed (not cancelled), for tests and
 	// runaway-simulation guards.
 	Processed uint64
+	// Scheduled counts every event ever placed on the heap; together
+	// with Cancelled and Processed (fired) it gives the drop accounting
+	// Scheduled = Cancelled + Processed + still-pending.
+	Scheduled uint64
+	// Cancelled counts events cancelled before firing. Cancelling an
+	// event that already fired (or was already cancelled) does not
+	// count: those calls are no-ops.
+	Cancelled uint64
+	// LastCancelAt is the virtual time of the most recent effective
+	// Cancel (zero when nothing was ever cancelled).
+	LastCancelAt Time
 	// Limit, when non-zero, aborts Run with an error after this many
 	// executed events. It guards against accidental infinite event loops.
 	Limit uint64
@@ -88,6 +110,10 @@ func (e *Engine) Now() Time { return e.now }
 // Rand returns the engine's deterministic PRNG.
 func (e *Engine) Rand() *Rand { return e.rand }
 
+// SetObserver installs obs (nil uninstalls). The observer is invoked
+// for every executed event, immediately before the event body runs.
+func (e *Engine) SetObserver(obs Observer) { e.obs = obs }
+
 // At schedules fn to run at absolute virtual time when. Scheduling in the
 // past panics. The label is kept for debugging.
 func (e *Engine) At(when Time, label string, fn EventFunc) *Event {
@@ -96,6 +122,7 @@ func (e *Engine) At(when Time, label string, fn EventFunc) *Event {
 	}
 	ev := &Event{when: when, seq: e.seq, fn: fn, label: label}
 	e.seq++
+	e.Scheduled++
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -107,12 +134,15 @@ func (e *Engine) After(d Time, label string, fn EventFunc) *Event {
 }
 
 // Cancel marks ev as cancelled. It is safe to cancel an event that has
-// already fired or was already cancelled; those calls are no-ops.
+// already fired or was already cancelled; those calls are no-ops and do
+// not count towards the Cancelled drop accounting.
 func (e *Engine) Cancel(ev *Event) {
-	if ev == nil {
+	if ev == nil || ev.cancelled || ev.fired {
 		return
 	}
 	ev.cancelled = true
+	e.Cancelled++
+	e.LastCancelAt = e.now
 }
 
 // Pending returns the number of events still queued, including cancelled
@@ -135,7 +165,11 @@ func (e *Engine) step() bool {
 			panic("sim: event heap yielded an event in the past")
 		}
 		e.now = ev.when
+		ev.fired = true
 		e.Processed++
+		if e.obs != nil {
+			e.obs(e.now, ev.label)
+		}
 		ev.fn()
 		return true
 	}

@@ -1,0 +1,69 @@
+package sim
+
+import "testing"
+
+// TestObserverSeesFiredEventsOnly: the observer runs once per dispatched
+// event, before its callback, and never for cancelled events.
+func TestObserverSeesFiredEventsOnly(t *testing.T) {
+	e := NewEngine(1)
+	var seen []string
+	e.SetObserver(func(at Time, label string) { seen = append(seen, label) })
+
+	order := ""
+	e.After(Millisecond, "keep", func() { order += "cb" })
+	victim := e.After(2*Millisecond, "victim", func() { t.Error("cancelled event fired") })
+	e.After(3*Millisecond, "late", func() {})
+	e.Cancel(victim)
+
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != "keep" || seen[1] != "late" {
+		t.Fatalf("observer saw %v, want [keep late]", seen)
+	}
+	if order != "cb" {
+		t.Fatal("callback did not run")
+	}
+}
+
+// TestEngineEventAccounting: every scheduled event is eventually either
+// fired or cancelled; the counters must balance.
+func TestEngineEventAccounting(t *testing.T) {
+	e := NewEngine(1)
+	var evs []*Event
+	for i := 0; i < 10; i++ {
+		evs = append(evs, e.After(Time(i+1)*Millisecond, "e", func() {}))
+	}
+	// Cancel three, one of them twice (the second must not double-count).
+	e.Cancel(evs[0])
+	e.Cancel(evs[4])
+	e.Cancel(evs[9])
+	e.Cancel(evs[4])
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if e.Scheduled != 10 {
+		t.Fatalf("Scheduled = %d, want 10", e.Scheduled)
+	}
+	if e.Cancelled != 3 {
+		t.Fatalf("Cancelled = %d, want 3", e.Cancelled)
+	}
+	if e.Processed != 7 {
+		t.Fatalf("Processed = %d, want 7", e.Processed)
+	}
+	if e.Scheduled != e.Cancelled+e.Processed {
+		t.Fatal("counters do not balance")
+	}
+
+	// Cancelling an already-fired event is a no-op and not a cancellation.
+	e.Cancel(evs[1])
+	if e.Cancelled != 3 {
+		t.Fatalf("cancel-after-fire counted: Cancelled = %d", e.Cancelled)
+	}
+	if evs[1].Cancelled() {
+		t.Fatal("fired event reports cancelled")
+	}
+	if !evs[1].Fired() {
+		t.Fatal("fired event does not report fired")
+	}
+}

@@ -1,0 +1,220 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"vscale/internal/sim"
+)
+
+// Chrome trace-event export: the output loads in Perfetto
+// (https://ui.perfetto.dev) and chrome://tracing. Track layout:
+//
+//	pid 1 "pCPUs"        one tid per physical CPU; RUN spans show which
+//	                     vCPU occupied the pCPU and when
+//	pid 2 "sim.engine"   tid 0; one instant per engine event dispatch
+//	pid 10+d "<domain>"  one tid per vCPU; dwell spans (RUN/RUNNABLE/
+//	                     BLOCKED/FROZEN), LHP/spin spans, futex/evtchn/
+//	                     boost instants and a credit counter track
+//
+// Timestamps are virtual microseconds; the export is byte-identical for
+// identical seeds because everything derives from virtual time and the
+// deterministic ring order.
+const (
+	pidPCPU = 1
+	pidSim  = 2
+	pidDom  = 10 // + domain id
+)
+
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Cat  string         `json:"cat,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent     `json:"traceEvents"`
+	DisplayTimeUnit string            `json:"displayTimeUnit"`
+	OtherData       map[string]string `json:"otherData,omitempty"`
+}
+
+// WriteChrome exports the ring as Chrome trace-event JSON. end is the
+// final virtual timestamp of the run (used in the summary only; spans
+// are self-contained).
+func (t *Tracer) WriteChrome(w io.Writer, end sim.Time) error {
+	out := chromeTrace{
+		DisplayTimeUnit: "ms",
+		OtherData:       map[string]string{},
+	}
+	if t == nil {
+		out.OtherData["enabled"] = "false"
+		return writeJSON(w, &out)
+	}
+
+	add := func(ev chromeEvent) { out.TraceEvents = append(out.TraceEvents, ev) }
+	meta := func(pid, tid int, key, name string) {
+		add(chromeEvent{Name: key, Ph: "M", Pid: pid, Tid: tid, Args: map[string]any{"name": name}})
+	}
+
+	// Track metadata: every pCPU, the sim engine, and every registered
+	// vCPU get a named track even if the ring holds no record for them.
+	meta(pidPCPU, 0, "process_name", "pCPUs")
+	for p := 0; p < t.npcpus; p++ {
+		meta(pidPCPU, p, "thread_name", fmt.Sprintf("pcpu%d", p))
+	}
+	meta(pidSim, 0, "process_name", "sim.engine")
+	meta(pidSim, 0, "thread_name", "events")
+	for domID, d := range t.doms {
+		if d == nil {
+			continue
+		}
+		name := d.name
+		if name == "" {
+			name = fmt.Sprintf("dom%d", domID)
+		}
+		meta(pidDom+domID, 0, "process_name", name)
+		for v := range d.vcpus {
+			meta(pidDom+domID, v, "thread_name", fmt.Sprintf("%s.vcpu%d", name, v))
+		}
+	}
+
+	if t.dropped > 0 {
+		// Annotate the drop so a reader knows the window is truncated.
+		first := t.buf[t.start]
+		add(chromeEvent{
+			Name: "ring-dropped", Ph: "i", Ts: first.At.Microseconds(),
+			Pid: pidSim, Tid: 0, Cat: "trace",
+			Args: map[string]any{"dropped_events": t.dropped, "retained": t.n},
+		})
+	}
+
+	for i := 0; i < t.n; i++ {
+		ev := t.buf[(t.start+i)%t.cap]
+		dom := int(ev.Dom)
+		vcpu := int(ev.VCPU)
+		domPid := pidDom + dom
+		vcpuName := t.vcpuName(dom, vcpu)
+		switch ev.Kind {
+		case KindState:
+			prev := VState(ev.Arg)
+			add(chromeEvent{
+				Name: prev.String(), Ph: "X",
+				Ts: (ev.At - ev.Dur).Microseconds(), Dur: ev.Dur.Microseconds(),
+				Pid: domPid, Tid: vcpu, Cat: "vcpu-state",
+			})
+			if prev == VRun && ev.PCPU >= 0 {
+				add(chromeEvent{
+					Name: vcpuName, Ph: "X",
+					Ts: (ev.At - ev.Dur).Microseconds(), Dur: ev.Dur.Microseconds(),
+					Pid: pidPCPU, Tid: int(ev.PCPU), Cat: "pcpu-run",
+				})
+			}
+		case KindFrozen:
+			name := "unfrozen"
+			if ev.Arg == 1 {
+				name = "frozen"
+			}
+			add(chromeEvent{Name: name, Ph: "i", Ts: ev.At.Microseconds(), Pid: domPid, Tid: vcpu, Cat: "vscale"})
+		case KindFreezeOp:
+			name := "balancer-unfreeze"
+			if ev.Arg == 1 {
+				name = "balancer-freeze"
+			}
+			add(chromeEvent{Name: name, Ph: "i", Ts: ev.At.Microseconds(), Pid: domPid, Tid: vcpu, Cat: "vscale"})
+		case KindCredit:
+			add(chromeEvent{
+				Name: fmt.Sprintf("credits.vcpu%d", vcpu), Ph: "C", Ts: ev.At.Microseconds(),
+				Pid: domPid, Tid: vcpu, Cat: "credit",
+				Args: map[string]any{"us": sim.Time(ev.Arg).Microseconds()},
+			})
+		case KindBoost:
+			add(chromeEvent{Name: "BOOST", Ph: "i", Ts: ev.At.Microseconds(), Pid: domPid, Tid: vcpu, Cat: "priority"})
+		case KindMigrate:
+			add(chromeEvent{
+				Name: "steal", Ph: "i", Ts: ev.At.Microseconds(), Pid: domPid, Tid: vcpu, Cat: "migrate",
+				Args: map[string]any{"from_pcpu": ev.Arg, "to_pcpu": ev.PCPU},
+			})
+		case KindEvtchn:
+			add(chromeEvent{
+				Name: "evtchn:" + ev.Label, Ph: "i", Ts: ev.At.Microseconds(),
+				Pid: domPid, Tid: vcpu, Cat: "evtchn",
+			})
+		case KindIPIDelivery:
+			add(chromeEvent{
+				Name: "ipi-delivery", Ph: "i", Ts: ev.At.Microseconds(), Pid: domPid, Tid: vcpu, Cat: "evtchn",
+				Args: map[string]any{"latency_us": sim.Time(ev.Arg).Microseconds()},
+			})
+		case KindIRQDelivery:
+			add(chromeEvent{
+				Name: "irq-delivery", Ph: "i", Ts: ev.At.Microseconds(), Pid: domPid, Tid: vcpu, Cat: "evtchn",
+				Args: map[string]any{"latency_us": sim.Time(ev.Arg).Microseconds()},
+			})
+		case KindFutexWait:
+			add(chromeEvent{Name: "futex-wait", Ph: "i", Ts: ev.At.Microseconds(), Pid: domPid, Tid: vcpu, Cat: "futex"})
+		case KindFutexWake:
+			add(chromeEvent{
+				Name: "futex-wake", Ph: "i", Ts: ev.At.Microseconds(), Pid: domPid, Tid: vcpu, Cat: "futex",
+				Args: map[string]any{"woken": ev.Arg},
+			})
+		case KindSpinWait:
+			add(chromeEvent{
+				Name: "spin-wait:" + ev.Label, Ph: "X",
+				Ts: (ev.At - ev.Dur).Microseconds(), Dur: ev.Dur.Microseconds(),
+				Pid: domPid, Tid: vcpu, Cat: "lock",
+			})
+		case KindSpinHold:
+			add(chromeEvent{
+				Name: "hold:" + ev.Label, Ph: "X",
+				Ts: (ev.At - ev.Dur).Microseconds(), Dur: ev.Dur.Microseconds(),
+				Pid: domPid, Tid: vcpu, Cat: "lock",
+			})
+		case KindLHP:
+			add(chromeEvent{
+				Name: "LHP", Ph: "X",
+				Ts: (ev.At - ev.Dur).Microseconds(), Dur: ev.Dur.Microseconds(),
+				Pid: domPid, Tid: vcpu, Cat: "lock",
+			})
+		case KindHotplug:
+			add(chromeEvent{
+				Name: "hotplug:" + ev.Label, Ph: "X",
+				Ts: (ev.At - ev.Dur).Microseconds(), Dur: ev.Dur.Microseconds(),
+				Pid: domPid, Tid: 0, Cat: "hotplug",
+			})
+		case KindSim:
+			add(chromeEvent{Name: ev.Label, Ph: "i", Ts: ev.At.Microseconds(), Pid: pidSim, Tid: 0, Cat: "sim"})
+		}
+	}
+
+	out.OtherData["end_us"] = fmt.Sprintf("%.3f", end.Microseconds())
+	out.OtherData["ring_total"] = fmt.Sprintf("%d", t.total)
+	out.OtherData["ring_dropped"] = fmt.Sprintf("%d", t.dropped)
+	if t.haveEngine {
+		out.OtherData["engine_scheduled"] = fmt.Sprintf("%d", t.engScheduled)
+		out.OtherData["engine_cancelled"] = fmt.Sprintf("%d", t.engCancelled)
+		out.OtherData["engine_fired"] = fmt.Sprintf("%d", t.engFired)
+	}
+	return writeJSON(w, &out)
+}
+
+func (t *Tracer) vcpuName(dom, vcpu int) string {
+	name := ""
+	if dom >= 0 && dom < len(t.doms) && t.doms[dom] != nil {
+		name = t.doms[dom].name
+	}
+	if name == "" {
+		name = fmt.Sprintf("dom%d", dom)
+	}
+	return fmt.Sprintf("%s.vcpu%d", name, vcpu)
+}
+
+func writeJSON(w io.Writer, v any) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(v)
+}

@@ -1,0 +1,539 @@
+// Package trace is the deterministic event-tracing subsystem of the
+// vScale reproduction. All three layers of the stack feed it: the sim
+// engine reports event dispatches (using the label every scheduled event
+// already carries), the hypervisor reports vCPU state transitions,
+// credit accounting, BOOST promotions, steals, event-channel sends and
+// IPI delivery latencies, and the guest kernel reports freeze/unfreeze
+// decisions, futex waits/wakes, spinlock hold/wait spans, lock-holder
+// preemption incidents and hotplug-path reconfigurations.
+//
+// Records land in a bounded ring buffer (newest records win; a drop
+// counter remembers what the ring forgot) and, in parallel, in an
+// always-exact schedstats accounting layer (per-vCPU dwell times,
+// wakeup-to-run latency, LHP and IPI latency statistics) that never
+// drops anything because it only keeps aggregates.
+//
+// Everything is stamped with virtual time only, so two runs with the
+// same seed produce byte-identical exports. A nil *Tracer is a valid,
+// fully disabled tracer: every method is a no-op on a nil receiver, so
+// hot paths pay one nil check and zero allocations when tracing is off.
+package trace
+
+import (
+	"vscale/internal/sim"
+)
+
+// Kind classifies a trace record.
+type Kind uint8
+
+// Record kinds.
+const (
+	// KindState closes a vCPU dwell span: Arg is the VState the vCPU
+	// just left, Dur is how long it dwelled there (span ends at At).
+	KindState Kind = iota
+	// KindCredit samples a vCPU's credit balance (Arg, virtual ns).
+	KindCredit
+	// KindBoost marks a BOOST priority promotion.
+	KindBoost
+	// KindMigrate marks a vCPU stolen across pCPUs: Arg is the source
+	// pCPU, PCPU the destination.
+	KindMigrate
+	// KindEvtchn marks an event-channel send; Label is the port kind,
+	// VCPU the bound target.
+	KindEvtchn
+	// KindIPIDelivery marks an IPI upcall reaching its vCPU; Arg is the
+	// send-to-deliver latency in virtual ns.
+	KindIPIDelivery
+	// KindIRQDelivery is KindIPIDelivery for device interrupts.
+	KindIRQDelivery
+	// KindFrozen marks the hypervisor-side frozen flag changing
+	// (Arg 1 = frozen, 0 = unfrozen).
+	KindFrozen
+	// KindFreezeOp marks the guest balancer's freeze/unfreeze decision
+	// (Arg 1 = freeze, 0 = unfreeze).
+	KindFreezeOp
+	// KindFutexWait marks a thread parking on a futex.
+	KindFutexWait
+	// KindFutexWake marks a futex wake; Arg is the number woken.
+	KindFutexWake
+	// KindSpinWait closes a contended kernel-lock wait span (Dur).
+	KindSpinWait
+	// KindSpinHold closes a kernel-lock hold span (Dur).
+	KindSpinHold
+	// KindLHP closes a lock-holder-preemption span: the vCPU was
+	// descheduled while holding a kernel lock for Dur.
+	KindLHP
+	// KindHotplug closes a hotplug-path reconfiguration span (Dur).
+	KindHotplug
+	// KindSim marks one sim-engine event dispatch; Label is the label
+	// the event was scheduled with.
+	KindSim
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindState:
+		return "state"
+	case KindCredit:
+		return "credit"
+	case KindBoost:
+		return "boost"
+	case KindMigrate:
+		return "migrate"
+	case KindEvtchn:
+		return "evtchn"
+	case KindIPIDelivery:
+		return "ipi-delivery"
+	case KindIRQDelivery:
+		return "irq-delivery"
+	case KindFrozen:
+		return "frozen"
+	case KindFreezeOp:
+		return "freeze-op"
+	case KindFutexWait:
+		return "futex-wait"
+	case KindFutexWake:
+		return "futex-wake"
+	case KindSpinWait:
+		return "spin-wait"
+	case KindSpinHold:
+		return "spin-hold"
+	case KindLHP:
+		return "lhp"
+	case KindHotplug:
+		return "hotplug"
+	case KindSim:
+		return "sim"
+	default:
+		return "unknown"
+	}
+}
+
+// VState is the tracing view of a vCPU's scheduling state. It extends
+// the hypervisor's three states with FROZEN, the guest-visible overlay
+// that vScale's balancer controls.
+type VState uint8
+
+// Dwell states.
+const (
+	VRun VState = iota
+	VRunnable
+	VBlocked
+	VFrozen
+
+	nVStates = 4
+)
+
+func (s VState) String() string {
+	switch s {
+	case VRun:
+		return "RUN"
+	case VRunnable:
+		return "RUNNABLE"
+	case VBlocked:
+		return "BLOCKED"
+	case VFrozen:
+		return "FROZEN"
+	default:
+		return "?"
+	}
+}
+
+// Event is one trace record. Spans carry a Dur ending at At; instants
+// have Dur == 0. Dom/VCPU/PCPU are -1 when not applicable. Label is
+// always a string that existed before the record was made (port kinds,
+// scheduler-event labels), so recording never allocates.
+type Event struct {
+	At    sim.Time
+	Dur   sim.Time
+	Kind  Kind
+	Dom   int32
+	VCPU  int32
+	PCPU  int32
+	Arg   int64
+	Label string
+}
+
+// DefaultRingCapacity bounds the ring when Config.RingCapacity is zero.
+const DefaultRingCapacity = 1 << 16
+
+// Config parameterises a Tracer.
+type Config struct {
+	// RingCapacity is the maximum number of records retained; once the
+	// ring is full the oldest record is overwritten and the drop counter
+	// incremented. <= 0 selects DefaultRingCapacity.
+	RingCapacity int
+}
+
+// Tracer is the collector: a ring of raw records plus the schedstats
+// aggregates. It is single-threaded, like the simulation feeding it.
+// The zero *Tracer (nil) is a disabled tracer; every method is nil-safe.
+type Tracer struct {
+	cap     int
+	buf     []Event
+	start   int
+	n       int
+	total   uint64
+	dropped uint64
+	maxAt   sim.Time
+
+	npcpus int
+	doms   []*domAcc
+
+	engScheduled, engCancelled, engFired uint64
+	haveEngine                           bool
+}
+
+// New creates an enabled tracer.
+func New(cfg Config) *Tracer {
+	c := cfg.RingCapacity
+	if c <= 0 {
+		c = DefaultRingCapacity
+	}
+	return &Tracer{cap: c, buf: make([]Event, c)}
+}
+
+// Enabled reports whether t collects anything (false for nil).
+func (t *Tracer) Enabled() bool { return t != nil }
+
+// push appends a record to the ring, overwriting the oldest when full.
+func (t *Tracer) push(ev Event) {
+	t.total++
+	if ev.At > t.maxAt {
+		t.maxAt = ev.At
+	}
+	if t.n < t.cap {
+		t.buf[(t.start+t.n)%t.cap] = ev
+		t.n++
+		return
+	}
+	t.buf[t.start] = ev
+	t.start = (t.start + 1) % t.cap
+	t.dropped++
+}
+
+// Len returns the number of records currently retained.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	return t.n
+}
+
+// Total returns the number of records ever pushed.
+func (t *Tracer) Total() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.total
+}
+
+// Dropped returns how many records the ring overwrote.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped
+}
+
+// MaxAt returns the timestamp of the newest record ever pushed.
+func (t *Tracer) MaxAt() sim.Time {
+	if t == nil {
+		return 0
+	}
+	return t.maxAt
+}
+
+// Events returns the retained records, oldest first.
+func (t *Tracer) Events() []Event {
+	if t == nil {
+		return nil
+	}
+	out := make([]Event, 0, t.n)
+	for i := 0; i < t.n; i++ {
+		out = append(out, t.buf[(t.start+i)%t.cap])
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Topology registration
+// ---------------------------------------------------------------------
+
+// RegisterPCPUs declares the pool size so the exporter can emit one
+// track per pCPU even before any of them ran anything.
+func (t *Tracer) RegisterPCPUs(n int) {
+	if t == nil {
+		return
+	}
+	if n > t.npcpus {
+		t.npcpus = n
+	}
+}
+
+// RegisterDomain declares a domain and its vCPUs. All vCPUs start
+// BLOCKED at now (how the hypervisor creates them). Re-registering the
+// same id with the same name (e.g. a fresh scenario in the same
+// process) resets the dwell clocks but keeps accumulated statistics.
+func (t *Tracer) RegisterDomain(id int, name string, nvcpus int, now sim.Time) {
+	if t == nil {
+		return
+	}
+	for len(t.doms) <= id {
+		t.doms = append(t.doms, nil)
+	}
+	d := t.doms[id]
+	if d == nil || d.name != name {
+		d = &domAcc{name: name}
+		t.doms[id] = d
+	}
+	for len(d.vcpus) < nvcpus {
+		d.vcpus = append(d.vcpus, &vcpuAcc{})
+	}
+	for _, a := range d.vcpus[:nvcpus] {
+		a.hvState = VBlocked
+		a.frozen = false
+		a.since = now
+	}
+}
+
+// acc returns the stats slot for (dom, vcpu), growing lazily so an
+// unregistered emitter never crashes the run.
+func (t *Tracer) acc(dom, vcpu int) *vcpuAcc {
+	if dom < 0 || vcpu < 0 {
+		return nil
+	}
+	for len(t.doms) <= dom {
+		t.doms = append(t.doms, nil)
+	}
+	d := t.doms[dom]
+	if d == nil {
+		d = &domAcc{name: ""}
+		t.doms[dom] = d
+	}
+	for len(d.vcpus) <= vcpu {
+		d.vcpus = append(d.vcpus, &vcpuAcc{})
+	}
+	return d.vcpus[vcpu]
+}
+
+// ---------------------------------------------------------------------
+// Hypervisor-layer emitters
+// ---------------------------------------------------------------------
+
+// VCPUState records a state transition: the vCPU leaves its current
+// state for to at now on pcpu. The dwell time in the previous state is
+// accounted and emitted as a span; a RUNNABLE->RUN transition also
+// feeds the wakeup-to-run latency histogram.
+func (t *Tracer) VCPUState(now sim.Time, dom, vcpu, pcpu int, to VState) {
+	if t == nil {
+		return
+	}
+	a := t.acc(dom, vcpu)
+	if a == nil {
+		return
+	}
+	prev := a.effective()
+	d := now - a.since
+	if d < 0 {
+		d = 0
+	}
+	a.dwell[prev] += d
+	if prev == VRunnable && to == VRun {
+		a.wakeLat.Observe(d.Microseconds())
+	}
+	a.hvState = to
+	a.since = now
+	t.push(Event{At: now, Dur: d, Kind: KindState, Dom: int32(dom), VCPU: int32(vcpu), PCPU: int32(pcpu), Arg: int64(prev)})
+}
+
+// SetFrozen records the hypervisor-side frozen flag flipping. Dwell
+// while frozen is charged to FROZEN regardless of the underlying
+// scheduler state.
+func (t *Tracer) SetFrozen(now sim.Time, dom, vcpu, pcpu int, frozen bool) {
+	if t == nil {
+		return
+	}
+	a := t.acc(dom, vcpu)
+	if a == nil || a.frozen == frozen {
+		return
+	}
+	prev := a.effective()
+	d := now - a.since
+	if d < 0 {
+		d = 0
+	}
+	a.dwell[prev] += d
+	a.frozen = frozen
+	a.since = now
+	arg := int64(0)
+	if frozen {
+		arg = 1
+	}
+	t.push(Event{At: now, Dur: d, Kind: KindFrozen, Dom: int32(dom), VCPU: int32(vcpu), PCPU: int32(pcpu), Arg: arg})
+}
+
+// CreditTick samples a vCPU's credit balance after accounting.
+func (t *Tracer) CreditTick(now sim.Time, dom, vcpu int, credits sim.Time) {
+	if t == nil {
+		return
+	}
+	t.push(Event{At: now, Kind: KindCredit, Dom: int32(dom), VCPU: int32(vcpu), PCPU: -1, Arg: int64(credits)})
+}
+
+// Boost records a BOOST priority promotion.
+func (t *Tracer) Boost(now sim.Time, dom, vcpu int) {
+	if t == nil {
+		return
+	}
+	t.push(Event{At: now, Kind: KindBoost, Dom: int32(dom), VCPU: int32(vcpu), PCPU: -1})
+}
+
+// Migrate records a vCPU steal from pCPU from to pCPU to.
+func (t *Tracer) Migrate(now sim.Time, dom, vcpu, from, to int) {
+	if t == nil {
+		return
+	}
+	a := t.acc(dom, vcpu)
+	if a != nil {
+		a.steals++
+	}
+	t.push(Event{At: now, Kind: KindMigrate, Dom: int32(dom), VCPU: int32(vcpu), PCPU: int32(to), Arg: int64(from)})
+}
+
+// EvtchnSend records an event-channel notification; kind must be a
+// pre-existing string (port kinds are constants).
+func (t *Tracer) EvtchnSend(now sim.Time, dom, target int, kind string) {
+	if t == nil {
+		return
+	}
+	t.push(Event{At: now, Kind: KindEvtchn, Dom: int32(dom), VCPU: int32(target), PCPU: -1, Label: kind})
+}
+
+// IPIDelivery records an IPI upcall reaching vcpu lat after the send.
+func (t *Tracer) IPIDelivery(now sim.Time, dom, vcpu int, lat sim.Time) {
+	if t == nil {
+		return
+	}
+	if a := t.acc(dom, vcpu); a != nil {
+		a.ipiLat.Observe(lat.Microseconds())
+	}
+	t.push(Event{At: now, Dur: lat, Kind: KindIPIDelivery, Dom: int32(dom), VCPU: int32(vcpu), PCPU: -1, Arg: int64(lat)})
+}
+
+// IRQDelivery records a device-interrupt upcall latency.
+func (t *Tracer) IRQDelivery(now sim.Time, dom, vcpu int, lat sim.Time) {
+	if t == nil {
+		return
+	}
+	t.push(Event{At: now, Dur: lat, Kind: KindIRQDelivery, Dom: int32(dom), VCPU: int32(vcpu), PCPU: -1, Arg: int64(lat)})
+}
+
+// ---------------------------------------------------------------------
+// Guest-layer emitters
+// ---------------------------------------------------------------------
+
+// FreezeOp records the balancer's freeze/unfreeze decision for a vCPU.
+func (t *Tracer) FreezeOp(now sim.Time, dom, vcpu int, freeze bool) {
+	if t == nil {
+		return
+	}
+	arg := int64(0)
+	if a := t.acc(dom, vcpu); a != nil {
+		if freeze {
+			a.freezes++
+		} else {
+			a.unfreezes++
+		}
+	}
+	if freeze {
+		arg = 1
+	}
+	t.push(Event{At: now, Kind: KindFreezeOp, Dom: int32(dom), VCPU: int32(vcpu), PCPU: -1, Arg: arg})
+}
+
+// FutexWait records a thread parking on a futex from cpu.
+func (t *Tracer) FutexWait(now sim.Time, dom, cpu int) {
+	if t == nil {
+		return
+	}
+	if a := t.acc(dom, cpu); a != nil {
+		a.futexWaits++
+	}
+	t.push(Event{At: now, Kind: KindFutexWait, Dom: int32(dom), VCPU: int32(cpu), PCPU: -1})
+}
+
+// FutexWake records cpu waking n futex sleepers.
+func (t *Tracer) FutexWake(now sim.Time, dom, cpu, n int) {
+	if t == nil {
+		return
+	}
+	if a := t.acc(dom, cpu); a != nil {
+		a.futexWakes += uint64(n)
+	}
+	t.push(Event{At: now, Kind: KindFutexWake, Dom: int32(dom), VCPU: int32(cpu), PCPU: -1, Arg: int64(n)})
+}
+
+// SpinWait closes a contended kernel-lock wait span on cpu.
+func (t *Tracer) SpinWait(now sim.Time, dom, cpu int, dur sim.Time, lock string) {
+	if t == nil {
+		return
+	}
+	t.push(Event{At: now, Dur: dur, Kind: KindSpinWait, Dom: int32(dom), VCPU: int32(cpu), PCPU: -1, Label: lock})
+}
+
+// SpinHold closes a kernel-lock hold span on cpu.
+func (t *Tracer) SpinHold(now sim.Time, dom, cpu int, dur sim.Time, lock string) {
+	if t == nil {
+		return
+	}
+	t.push(Event{At: now, Dur: dur, Kind: KindSpinHold, Dom: int32(dom), VCPU: int32(cpu), PCPU: -1, Label: lock})
+}
+
+// LHP closes a lock-holder-preemption span: vcpu was descheduled for
+// dur while holding at least one kernel lock.
+func (t *Tracer) LHP(now sim.Time, dom, vcpu int, dur sim.Time) {
+	if t == nil {
+		return
+	}
+	if a := t.acc(dom, vcpu); a != nil {
+		a.lhpCount++
+		a.lhpTotal += dur
+		if dur > a.lhpMax {
+			a.lhpMax = dur
+		}
+	}
+	t.push(Event{At: now, Dur: dur, Kind: KindLHP, Dom: int32(dom), VCPU: int32(vcpu), PCPU: -1})
+}
+
+// Hotplug closes a hotplug-path reconfiguration span (the slow
+// alternative to the vScale balancer).
+func (t *Tracer) Hotplug(now sim.Time, dom int, dur sim.Time, phase string) {
+	if t == nil {
+		return
+	}
+	t.push(Event{At: now, Dur: dur, Kind: KindHotplug, Dom: int32(dom), VCPU: -1, PCPU: -1, Label: phase})
+}
+
+// ---------------------------------------------------------------------
+// Sim-layer emitters
+// ---------------------------------------------------------------------
+
+// SimEvent records one engine event dispatch. The signature matches
+// sim.Observer so it can be installed directly.
+func (t *Tracer) SimEvent(now sim.Time, label string) {
+	if t == nil {
+		return
+	}
+	t.push(Event{At: now, Kind: KindSim, Dom: -1, VCPU: -1, PCPU: -1, Label: label})
+}
+
+// SetEngineCounters stores the engine's scheduled/cancelled/fired event
+// counts for the exporters (call once before exporting).
+func (t *Tracer) SetEngineCounters(scheduled, cancelled, fired uint64) {
+	if t == nil {
+		return
+	}
+	t.engScheduled, t.engCancelled, t.engFired = scheduled, cancelled, fired
+	t.haveEngine = true
+}

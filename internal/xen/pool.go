@@ -5,6 +5,7 @@ import (
 
 	"vscale/internal/core"
 	"vscale/internal/sim"
+	"vscale/internal/trace"
 )
 
 // SchedPolicy selects the pool's scheduling policy. The vScale
@@ -119,6 +120,10 @@ type Pool struct {
 	// kicking guards kickIdle against recursion through dispatch.
 	kicking bool
 
+	// tr is the event tracer; nil means tracing is disabled and every
+	// hook below is a single nil check.
+	tr *trace.Tracer
+
 	// VScaleTicks counts extendability recalculations (diagnostics).
 	VScaleTicks uint64
 }
@@ -151,6 +156,30 @@ func NewPool(eng *sim.Engine, cfg Config) *Pool {
 
 // Engine returns the simulation engine.
 func (pool *Pool) Engine() *sim.Engine { return pool.eng }
+
+// SetTracer installs (or, with nil, removes) the event tracer. The
+// pool topology and all existing domains are registered with it so the
+// exporter can emit one track per pCPU and per vCPU.
+func (pool *Pool) SetTracer(tr *trace.Tracer) {
+	pool.tr = tr
+	if tr == nil {
+		return
+	}
+	tr.RegisterPCPUs(len(pool.pcpus))
+	for _, d := range pool.domains {
+		tr.RegisterDomain(d.id, d.Name, len(d.vcpus), pool.eng.Now())
+	}
+}
+
+// Tracer returns the installed tracer (nil when tracing is disabled).
+func (pool *Pool) Tracer() *trace.Tracer { return pool.tr }
+
+// traceState records a vCPU state transition when tracing is enabled.
+func (pool *Pool) traceState(v *VCPU, to trace.VState) {
+	if pool.tr != nil {
+		pool.tr.VCPUState(pool.eng.Now(), v.dom.id, v.id, v.pcpu.id, to)
+	}
+}
 
 // Config returns the pool configuration.
 func (pool *Pool) Config() Config { return pool.cfg }
@@ -190,6 +219,9 @@ func (pool *Pool) AddDomain(name string, weight float64, nVCPUs int, guest Guest
 		d.timerPorts = append(d.timerPorts, &Port{Kind: PortVIRQTimer, Name: fmt.Sprintf("timer%d", i), dom: d, target: i})
 	}
 	pool.domains = append(pool.domains, d)
+	if pool.tr != nil {
+		pool.tr.RegisterDomain(d.id, d.Name, len(d.vcpus), pool.eng.Now())
+	}
 	return d
 }
 
@@ -320,6 +352,7 @@ func (pool *Pool) dispatch(p *PCPU) {
 			v.state = StateRunnable
 			v.queuedAt = now
 			v.Preemptions++
+			pool.traceState(v, trace.VRunnable)
 			pool.insertRunq(p, v, false)
 		}
 		v.dom.guest.Descheduled(v.id)
@@ -348,6 +381,7 @@ func (pool *Pool) dispatch(p *PCPU) {
 	next.dispatchedAt = now
 	next.reconfigBoost = false
 	next.Dispatches++
+	pool.traceState(next, trace.VRun)
 	p.current = next
 	p.Switches++
 	p.sliceTimer.Reset(pool.cfg.Slice)
@@ -428,6 +462,9 @@ func (pool *Pool) steal(p *PCPU, localBest *VCPU) *VCPU {
 		return nil
 	}
 	pool.removeRunq(bestOwner, best)
+	if pool.tr != nil {
+		pool.tr.Migrate(pool.eng.Now(), best.dom.id, best.id, bestOwner.id, p.id)
+	}
 	best.pcpu = p
 	return best
 }
@@ -453,6 +490,9 @@ func (pool *Pool) flushPending(v *VCPU) {
 // from Figure 1); a blocked target is woken.
 func (pool *Pool) Notify(port *Port) {
 	v := port.dom.vcpus[port.target]
+	if pool.tr != nil {
+		pool.tr.EvtchnSend(pool.eng.Now(), port.dom.id, port.target, port.Kind.String())
+	}
 	switch v.state {
 	case StateRunning:
 		pool.observeDelay(port, 0)
@@ -485,8 +525,14 @@ func (pool *Pool) observeDelay(port *Port, d sim.Time) {
 	switch port.Kind {
 	case PortIPI:
 		port.dom.IPIDelay.Observe(d.Microseconds())
+		if pool.tr != nil {
+			pool.tr.IPIDelivery(pool.eng.Now(), port.dom.id, port.target, d)
+		}
 	case PortIRQ:
 		port.dom.IRQDelay.Observe(d.Microseconds())
+		if pool.tr != nil {
+			pool.tr.IRQDelivery(pool.eng.Now(), port.dom.id, port.target, d)
+		}
 	}
 }
 
@@ -496,6 +542,9 @@ func (pool *Pool) expedite(v *VCPU) {
 	p := v.pcpu
 	pool.removeRunq(p, v)
 	v.pri = PriBoost
+	if pool.tr != nil {
+		pool.tr.Boost(pool.eng.Now(), v.dom.id, v.id)
+	}
 	pool.insertRunq(p, v, true)
 	pool.dispatch(p)
 }
@@ -518,6 +567,9 @@ func (pool *Pool) wake(v *VCPU) {
 	default:
 		if v.pri == PriUnder {
 			v.pri = PriBoost
+			if pool.tr != nil {
+				pool.tr.Boost(now, v.dom.id, v.id)
+			}
 		}
 	}
 
@@ -533,6 +585,7 @@ func (pool *Pool) wake(v *VCPU) {
 		}
 	}
 	v.pcpu = target
+	pool.traceState(v, trace.VRunnable)
 	pool.insertRunq(target, v, v.reconfigBoost)
 	if target.current == nil {
 		pool.dispatch(target)
@@ -572,10 +625,12 @@ func (pool *Pool) Block(v *VCPU) {
 	case StateRunning:
 		p := v.pcpu
 		v.state = StateBlocked
+		pool.traceState(v, trace.VBlocked)
 		pool.dispatch(p)
 	case StateRunnable:
 		pool.removeRunq(v.pcpu, v)
 		v.state = StateBlocked
+		pool.traceState(v, trace.VBlocked)
 	case StateBlocked:
 		// Already blocked; nothing to do.
 	}
@@ -710,6 +765,9 @@ func (pool *Pool) acct() {
 				v.pri = PriUnder
 			}
 			pool.refreshPriority(v)
+			if pool.tr != nil {
+				pool.tr.CreditTick(pool.eng.Now(), d.id, v.id, v.credits)
+			}
 		}
 		d.acctActive = false
 	}
@@ -797,6 +855,9 @@ func (d *Domain) HypercallCPUFreeze(vcpu int, freeze bool) {
 	v := d.vcpus[vcpu]
 	v.frozen = freeze
 	v.reconfigBoost = true
+	if tr := d.pool.tr; tr != nil {
+		tr.SetFrozen(d.pool.eng.Now(), d.id, vcpu, v.pcpu.id, freeze)
+	}
 }
 
 // Idle returns the pool's aggregate pCPU idle time (including currently
