@@ -3,7 +3,7 @@
 
 GOFILES := $(shell find . -name '*.go' -not -path './.git/*')
 
-.PHONY: check fmt vet build test race
+.PHONY: check fmt vet build test race bench
 
 check: fmt vet build race
 
@@ -24,3 +24,8 @@ test:
 
 race:
 	go test -race ./...
+
+# Quick experiment pass with run accounting: wall/CPU/speedup per
+# experiment, written to BENCH_experiments.json (schema vscale-bench/v1).
+bench:
+	go run ./cmd/vscale-experiments -quick -benchjson BENCH_experiments.json >/dev/null

@@ -11,14 +11,22 @@ import (
 	"testing"
 
 	"vscale/internal/experiments"
+	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
 )
 
+// serial runs every benchmarked experiment on one worker so the bench
+// numbers measure the simulation, not the pool.
+var serial = runner.Options{Workers: 1}
+
 func BenchmarkFigure1Motivation(b *testing.B) {
 	var waste float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.Motivation(3 * sim.Second)
+		r, err := experiments.Motivation(serial, 3*sim.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
 		waste = r.SpinWasteFrac["Xen/Linux"] - r.SpinWasteFrac["dedicated"]
 	}
 	b.ReportMetric(waste*100, "spinwaste%")
@@ -26,7 +34,10 @@ func BenchmarkFigure1Motivation(b *testing.B) {
 
 func BenchmarkTable1ChannelRead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table1(100)
+		r, err := experiments.Table1(100)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.Total != 910*sim.Nanosecond {
 			b.Fatal("channel read cost drifted")
 		}
@@ -44,7 +55,10 @@ func BenchmarkFigure4Libxl(b *testing.B) {
 
 func BenchmarkTable2InterruptQuiescence(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Table2()
+		r, err := experiments.Table2()
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.After.TimerPerSec[3] > 1 {
 			b.Fatal("frozen vCPU not quiescent")
 		}
@@ -62,7 +76,10 @@ func BenchmarkTable3FreezeCost(b *testing.B) {
 
 func BenchmarkFigure5Hotplug(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure5(60)
+		r, err := experiments.Figure5(60)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if r.Remove["v-2.6.32"].Quantile(0.5) < 5 {
 			b.Fatal("hotplug latency drifted")
 		}
@@ -75,8 +92,11 @@ func npbBenchPair(b *testing.B, app string, spin uint64, vcpus int) {
 	b.Helper()
 	var norm float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.NPBSweep(vcpus, []string{app},
+		r, err := experiments.NPBSweep(serial, vcpus, []string{app},
 			[]scenario.Mode{scenario.Baseline, scenario.VScale}, []uint64{spin})
+		if err != nil {
+			b.Fatal(err)
+		}
 		norm = r.Normalized(app, scenario.VScale, spin)
 	}
 	b.ReportMetric(norm, "normexec")
@@ -88,7 +108,10 @@ func BenchmarkFigure7NPB8(b *testing.B) { npbBenchPair(b, "cg", 30_000_000_000, 
 func BenchmarkFigure8Trace(b *testing.B) {
 	var avg float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.Figure8(5 * sim.Second)
+		r, err := experiments.Figure8(serial, 5*sim.Second)
+		if err != nil {
+			b.Fatal(err)
+		}
 		n := 0
 		sum := 0
 		for _, p := range r.Traces[4] {
@@ -103,8 +126,11 @@ func BenchmarkFigure8Trace(b *testing.B) {
 func BenchmarkFigure9WaitingTime(b *testing.B) {
 	var reduction float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.NPBSweep(4, []string{"sp"},
+		r, err := experiments.NPBSweep(serial, 4, []string{"sp"},
 			[]scenario.Mode{scenario.Baseline, scenario.VScale}, []uint64{30_000_000_000})
+		if err != nil {
+			b.Fatal(err)
+		}
 		base := r.Runs["sp"][scenario.Baseline][30_000_000_000]
 		vs := r.Runs["sp"][scenario.VScale][30_000_000_000]
 		bw := float64(base.Wait) / float64(base.Exec)
@@ -117,8 +143,11 @@ func BenchmarkFigure9WaitingTime(b *testing.B) {
 func BenchmarkFigure10NPBIPI(b *testing.B) {
 	var rate float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.NPBSweep(4, []string{"sp"},
+		r, err := experiments.NPBSweep(serial, 4, []string{"sp"},
 			[]scenario.Mode{scenario.Baseline}, []uint64{0})
+		if err != nil {
+			b.Fatal(err)
+		}
 		rate = r.Runs["sp"][scenario.Baseline][0].IPIRate
 	}
 	b.ReportMetric(rate, "ipis/vcpu/s")
@@ -128,8 +157,11 @@ func parsecBenchPair(b *testing.B, app string, vcpus int) {
 	b.Helper()
 	var norm float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.ParsecSweep(vcpus, []string{app},
+		r, err := experiments.ParsecSweep(serial, vcpus, []string{app},
 			[]scenario.Mode{scenario.Baseline, scenario.VScale})
+		if err != nil {
+			b.Fatal(err)
+		}
 		norm = r.Normalized(app, scenario.VScale)
 	}
 	b.ReportMetric(norm, "normexec")
@@ -141,8 +173,11 @@ func BenchmarkFigure12Parsec8(b *testing.B) { parsecBenchPair(b, "dedup", 8) }
 func BenchmarkFigure13ParsecIPI(b *testing.B) {
 	var rate float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.ParsecSweep(4, []string{"dedup"},
+		r, err := experiments.ParsecSweep(serial, 4, []string{"dedup"},
 			[]scenario.Mode{scenario.Baseline})
+		if err != nil {
+			b.Fatal(err)
+		}
 		rate = r.Runs["dedup"][scenario.Baseline].IPIRate
 	}
 	b.ReportMetric(rate, "ipis/vcpu/s")
@@ -151,8 +186,11 @@ func BenchmarkFigure13ParsecIPI(b *testing.B) {
 func BenchmarkFigure14Apache(b *testing.B) {
 	var peakGain float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.Apache([]float64{6, 8}, 6*sim.Second,
+		r, err := experiments.Apache(serial, []float64{6, 8}, 6*sim.Second,
 			[]scenario.Mode{scenario.Baseline, scenario.VScale})
+		if err != nil {
+			b.Fatal(err)
+		}
 		peakGain = r.PeakReply(scenario.VScale) - r.PeakReply(scenario.Baseline)
 	}
 	b.ReportMetric(peakGain, "peakK+")
@@ -161,7 +199,10 @@ func BenchmarkFigure14Apache(b *testing.B) {
 func BenchmarkAblationWeightOnly(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.AblationWeightOnly("cg")
+		r, err := experiments.AblationWeightOnly(serial, "cg")
+		if err != nil {
+			b.Fatal(err)
+		}
 		ratio = float64(r.Exec[1]) / float64(r.Exec[0]) // VCPU-Bal / vScale
 	}
 	b.ReportMetric(ratio, "vcpubal/vscale")
@@ -170,7 +211,10 @@ func BenchmarkAblationWeightOnly(b *testing.B) {
 func BenchmarkAblationHotplugPath(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.AblationHotplugPath("cg")
+		r, err := experiments.AblationHotplugPath(serial, "cg")
+		if err != nil {
+			b.Fatal(err)
+		}
 		ratio = float64(r.Exec[1]) / float64(r.Exec[0]) // hotplug / balancer
 	}
 	b.ReportMetric(ratio, "hotplug/balancer")
@@ -179,8 +223,11 @@ func BenchmarkAblationHotplugPath(b *testing.B) {
 func BenchmarkAblationDaemonPeriod(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.AblationDaemonPeriod("cg",
+		r, err := experiments.AblationDaemonPeriod(serial, "cg",
 			[]sim.Time{10 * sim.Millisecond, sim.Second})
+		if err != nil {
+			b.Fatal(err)
+		}
 		ratio = float64(r.Exec[1]) / float64(r.Exec[0]) // slow / fast daemon
 	}
 	b.ReportMetric(ratio, "1s/10ms")
@@ -189,7 +236,10 @@ func BenchmarkAblationDaemonPeriod(b *testing.B) {
 func BenchmarkAblationPerVMWeight(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.AblationPerVMWeight("cg")
+		r, err := experiments.AblationPerVMWeight(serial, "cg")
+		if err != nil {
+			b.Fatal(err)
+		}
 		ratio = float64(r.Exec[1]) / float64(r.Exec[0]) // per-vCPU / per-VM
 	}
 	b.ReportMetric(ratio, "pervcpu/pervm")
@@ -198,7 +248,10 @@ func BenchmarkAblationPerVMWeight(b *testing.B) {
 func BenchmarkAblationCeilMargin(b *testing.B) {
 	var ratio float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.AblationCeilMargin("cg")
+		r, err := experiments.AblationCeilMargin(serial, "cg")
+		if err != nil {
+			b.Fatal(err)
+		}
 		ratio = float64(r.Exec[1]) / float64(r.Exec[0]) // pure ceil / margin
 	}
 	b.ReportMetric(ratio, "pureceil/margin")
@@ -207,7 +260,10 @@ func BenchmarkAblationCeilMargin(b *testing.B) {
 func BenchmarkAblationSchedulerGenerality(b *testing.B) {
 	var vrtSpeedup float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.AblationSchedulerGenerality("cg")
+		r, err := experiments.AblationSchedulerGenerality(serial, "cg")
+		if err != nil {
+			b.Fatal(err)
+		}
 		vrtSpeedup = float64(r.Exec[2]) / float64(r.Exec[3])
 	}
 	b.ReportMetric(vrtSpeedup, "vrtspeedup")
@@ -216,7 +272,10 @@ func BenchmarkAblationSchedulerGenerality(b *testing.B) {
 func BenchmarkExtensionAdaptiveTeam(b *testing.B) {
 	var speedup float64
 	for i := 0; i < b.N; i++ {
-		r := experiments.ExtensionAdaptiveTeam("cg")
+		r, err := experiments.ExtensionAdaptiveTeam(serial, "cg")
+		if err != nil {
+			b.Fatal(err)
+		}
 		speedup = float64(r.FixedExec) / float64(r.Adapted)
 	}
 	b.ReportMetric(speedup, "adaptspeedup")

@@ -3,18 +3,25 @@
 //
 // Usage:
 //
-//	vscale-experiments [-run list] [-quick] [-window seconds]
+//	vscale-experiments [-run list] [-quick] [-parallel N] [-window seconds]
 //
-// -run selects a comma-separated subset (table1, figure4, table2,
-// table3, figure5, figure6, figure7, figure8, figure9, figure10,
-// figure11, figure12, figure13, figure14, ablations); the default runs
-// everything. -quick shrinks sweeps for a fast smoke pass.
+// -run selects a comma-separated subset of the registered experiments
+// (see -list); the default runs everything in registry order. -quick
+// shrinks sweeps for a fast smoke pass. -parallel bounds the worker pool
+// each experiment fans its independent simulation runs across; the
+// printed tables are byte-identical for every worker count.
+//
+// -benchjson writes the per-experiment run accounting (wall clock, CPU
+// time, speedup) to a JSON file; `make bench` uses it to produce
+// BENCH_experiments.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -25,28 +32,70 @@ import (
 	"vscale/internal/trace"
 )
 
+// benchEntry is one experiment's accounting in the -benchjson file.
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Runs        int     `json:"runs"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+	Speedup     float64 `json:"speedup"`
+}
+
+// benchFile is the -benchjson schema (vscale-bench/v1).
+type benchFile struct {
+	Schema      string       `json:"schema"`
+	GoMaxProcs  int          `json:"go_max_procs"`
+	Workers     int          `json:"workers"`
+	Quick       bool         `json:"quick"`
+	Experiments []benchEntry `json:"experiments"`
+	Total       benchEntry   `json:"total"`
+}
+
 func main() {
-	runList := flag.String("run", "all", "comma-separated experiments to run (or 'all')")
+	runList := flag.String("run", "all", "comma-separated experiments to run (or 'all'; see -list)")
+	list := flag.Bool("list", false, "list the registered experiments and exit")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
+	parallel := flag.Int("parallel", 0, "worker pool size per experiment (default GOMAXPROCS)")
 	window := flag.Float64("window", 20, "Apache measurement window per load level, seconds")
+	seed := flag.Uint64("seed", 1, "base seed for per-run seed derivation")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this path")
 	schedstats := flag.Bool("schedstats", false, "print aggregate per-vCPU scheduling statistics")
-	tracecap := flag.Int("tracecap", trace.DefaultRingCapacity, "trace ring capacity (events)")
+	tracecap := flag.Int("tracecap", trace.DefaultRingCapacity, "trace ring capacity (events) per run")
+	benchJSON := flag.String("benchjson", "", "write run accounting JSON to this path")
 	flag.Parse()
 
-	var tr *trace.Tracer
-	if *traceOut != "" || *schedstats {
-		tr = trace.New(trace.Config{RingCapacity: *tracecap})
-		// Every scenario built by the experiments shares this tracer;
-		// exported timelines from separate runs overlap.
-		scenario.DefaultTracer = tr
+	registry := experiments.Registry()
+	if *list {
+		for _, e := range registry {
+			fmt.Printf("%-10s %s\n%-10s   quick: %s; full: %s\n", e.Name, e.Desc, "", e.QuickParams, e.FullParams)
+		}
+		return
 	}
 
 	selected := map[string]bool{}
 	for _, s := range strings.Split(*runList, ",") {
-		selected[strings.TrimSpace(s)] = true
+		name := strings.TrimSpace(s)
+		if name == "" {
+			continue
+		}
+		if name != "all" {
+			if _, ok := experiments.Find(name); !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q; known: all, %s\n",
+					name, strings.Join(experiments.Names(), ", "))
+				os.Exit(2)
+			}
+		}
+		selected[name] = true
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
+
+	cfg := experiments.NewConfig()
+	cfg.Quick = *quick
+	cfg.Window = sim.FromSeconds(*window)
+	cfg.Workers = *parallel
+	cfg.BaseSeed = *seed
+	cfg.Trace = *traceOut != "" || *schedstats
+	cfg.TraceCapacity = *tracecap
 
 	out := os.Stdout
 	section := func(title string) {
@@ -54,119 +103,74 @@ func main() {
 	}
 	start := time.Now()
 
-	if want("figure1") {
-		section("Figure 1 — the three delay phenomena, quantified")
-		dur := 10 * sim.Second
-		if *quick {
-			dur = 3 * sim.Second
+	var entries []benchEntry
+	var total benchEntry
+	var tracers []*trace.Tracer
+	for _, e := range registry {
+		if !want(e.Name) {
+			continue
 		}
-		fmt.Fprint(out, experiments.Motivation(dur).Render())
-	}
-	if want("table1") {
-		section("Table 1 — vScale channel read overhead")
-		fmt.Fprint(out, experiments.Table1(1000).Render())
-	}
-	if want("figure4") {
-		section("Figure 4 — dom0/libxl monitoring overhead")
-		reps := 10000
-		if *quick {
-			reps = 500
+		expStart := time.Now()
+		res, err := e.Run(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		fmt.Fprint(out, experiments.Figure4([]int{1, 10, 20, 30, 40, 50}, reps).Render())
-	}
-	if want("table2") {
-		section("Table 2 — interrupt quiescence after freezing vCPU3")
-		fmt.Fprint(out, experiments.Table2().Render())
-	}
-	if want("table3") {
-		section("Table 3 — freeze cost breakdown")
-		fmt.Fprint(out, experiments.Table3().Render())
-	}
-	if want("figure5") {
-		section("Figure 5 — Linux CPU hotplug latency")
-		reps := 100
-		if *quick {
-			reps = 30
+		section(e.Title)
+		fmt.Fprint(out, res.Text)
+		wall := time.Since(expStart)
+		entry := benchEntry{Name: e.Name, WallSeconds: wall.Seconds()}
+		if rep := res.Report; rep != nil {
+			entry.Runs = rep.Jobs
+			entry.CPUSeconds = rep.CPU().Seconds()
+			if wall > 0 {
+				entry.Speedup = rep.CPU().Seconds() / wall.Seconds()
+			}
+			tracers = append(tracers, rep.LiveTracers()...)
 		}
-		fmt.Fprint(out, experiments.Figure5(reps).Render())
+		entries = append(entries, entry)
+		total.Runs += entry.Runs
+		total.WallSeconds += entry.WallSeconds
+		total.CPUSeconds += entry.CPUSeconds
+	}
+	total.Name = "total"
+	if total.WallSeconds > 0 {
+		total.Speedup = total.CPUSeconds / total.WallSeconds
 	}
 
-	npbApps := []string(nil) // all
-	parsecApps := []string(nil)
-	if *quick {
-		npbApps = []string{"cg", "ep", "lu"}
-		parsecApps = []string{"dedup", "streamcluster", "swaptions"}
-	}
-
-	var npb4 experiments.NPBResult
-	haveNPB4 := false
-	if want("figure6") || want("figure9") || want("figure10") {
-		npb4 = experiments.NPBSweep(4, npbApps, nil, nil)
-		haveNPB4 = true
-	}
-	if want("figure6") {
-		section("Figure 6 — NPB normalized execution time (4-vCPU VM)")
-		for _, spin := range experiments.SpinCounts {
-			fmt.Fprint(out, npb4.RenderFigure(spin), "\n")
+	if *benchJSON != "" {
+		workers := *parallel
+		if workers <= 0 {
+			workers = runtime.GOMAXPROCS(0)
 		}
-	}
-	if want("figure7") {
-		section("Figure 7 — NPB normalized execution time (8-vCPU VM)")
-		npb8 := experiments.NPBSweep(8, npbApps, nil, nil)
-		for _, spin := range experiments.SpinCounts {
-			fmt.Fprint(out, npb8.RenderFigure(spin), "\n")
+		bf := benchFile{
+			Schema:      "vscale-bench/v1",
+			GoMaxProcs:  runtime.GOMAXPROCS(0),
+			Workers:     workers,
+			Quick:       *quick,
+			Experiments: entries,
+			Total:       total,
 		}
-	}
-	if want("figure8") {
-		section("Figure 8 — active vCPUs over time (bt under vScale)")
-		fmt.Fprint(out, experiments.Figure8(10*sim.Second).Render())
-	}
-	if want("figure9") && haveNPB4 {
-		section("Figure 9 — VM waiting-time reduction")
-		fmt.Fprint(out, npb4.RenderFigure9(30_000_000_000))
-	}
-	if want("figure10") && haveNPB4 {
-		section("Figure 10 — NPB virtual-IPI rates")
-		fmt.Fprint(out, npb4.RenderFigure10())
-	}
-
-	if want("figure11") || want("figure13") {
-		section("Figures 11/13 — PARSEC (4-vCPU VM)")
-		p4 := experiments.ParsecSweep(4, parsecApps, nil)
-		fmt.Fprint(out, p4.RenderFigure(), "\n", p4.RenderFigure13())
-	}
-	if want("figure12") {
-		section("Figure 12 — PARSEC (8-vCPU VM)")
-		p8 := experiments.ParsecSweep(8, parsecApps, nil)
-		fmt.Fprint(out, p8.RenderFigure())
-	}
-
-	if want("figure14") {
-		section("Figure 14 — Apache web server")
-		rates := []float64{0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
-		if *quick {
-			rates = []float64{2, 4, 6, 8, 10}
+		data, err := json.MarshalIndent(bf, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
 		}
-		res := experiments.Apache(rates, sim.FromSeconds(*window), nil)
-		fmt.Fprint(out, res.Render())
+		if err := os.WriteFile(*benchJSON, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote run accounting to %s (%d runs, %.2fs wall, %.2fs cpu, %.2fx)\n",
+			*benchJSON, total.Runs, total.WallSeconds, total.CPUSeconds, total.Speedup)
 	}
 
-	if want("ablations") {
-		section("Ablations — design-choice benches (DESIGN.md A1-A5)")
-		fmt.Fprint(out, experiments.AblationWeightOnly("cg").Render(), "\n")
-		fmt.Fprint(out, experiments.AblationHotplugPath("cg").Render(), "\n")
-		fmt.Fprint(out, experiments.AblationDaemonPeriod("cg", nil).Render(), "\n")
-		fmt.Fprint(out, experiments.AblationPerVMWeight("cg").Render(), "\n")
-		fmt.Fprint(out, experiments.AblationCeilMargin("cg").Render(), "\n")
-		fmt.Fprint(out, experiments.AblationSchedulerGenerality("cg").Render())
-	}
-
-	if want("extension") {
-		section("Extension — §7 future work: vScale-aware adaptive OpenMP teams")
-		fmt.Fprint(out, experiments.ExtensionAdaptiveTeam("cg").Render())
-	}
-
-	if tr != nil {
+	if cfg.Trace {
+		// Each simulation ran with a private tracer; stitch the timelines
+		// into one export, run0/, run1/, ... in submission order.
+		tr := trace.Merge(tracers...)
+		if tr == nil {
+			tr = trace.New(trace.Config{RingCapacity: 1})
+		}
 		end := tr.MaxAt()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
@@ -191,5 +195,8 @@ func main() {
 		}
 	}
 
-	fmt.Fprintf(out, "\nall experiments done in %v (modes: %v)\n", time.Since(start).Round(time.Millisecond), scenario.Modes())
+	// Timing goes to stderr so stdout stays byte-identical across
+	// -parallel settings.
+	fmt.Fprintf(os.Stderr, "\nall experiments done in %v (modes: %v)\n",
+		time.Since(start).Round(time.Millisecond), scenario.Modes())
 }

@@ -5,14 +5,21 @@
 // Usage:
 //
 //	vscalesim -workload npb:cg -mode vscale -vcpus 4 -pcpus 8 \
-//	          -spincount 300000 [-trace out.json] [-schedstats] [-seed 1]
+//	          -spincount 300000 [-runs 5] [-parallel N] \
+//	          [-trace out.json] [-schedstats] [-seed 1]
 //
 // Workloads: npb:<bt|cg|dc|ep|ft|is|lu|mg|sp|ua>,
 // parsec:<blackscholes|...|x264>, kernel-build, httpd:<rateK>.
 //
+// -runs repeats the scenario with per-run seeds derived from -seed
+// (splitmix64), fanned across -parallel workers; the per-run outputs are
+// printed in run order and are independent of the worker count.
+//
 // -trace writes a Chrome trace-event JSON file loadable in Perfetto
-// (ui.perfetto.dev) or chrome://tracing; -schedstats prints per-vCPU
-// scheduling statistics. See docs/observability.md.
+// (ui.perfetto.dev) or chrome://tracing; with -runs > 1 the per-run
+// timelines are stitched with trace.Merge under run0/, run1/, ...
+// track prefixes. -schedstats prints per-vCPU scheduling statistics.
+// See docs/observability.md.
 package main
 
 import (
@@ -21,9 +28,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"vscale/internal/guest"
 	"vscale/internal/report"
+	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
 	"vscale/internal/trace"
@@ -39,7 +48,9 @@ func main() {
 	vcpus := flag.Int("vcpus", 4, "vCPUs of the VM under test")
 	pcpus := flag.Int("pcpus", 8, "pCPUs in the domU pool")
 	spin := flag.Uint64("spincount", 300_000, "GOMP_SPINCOUNT for OpenMP workloads")
-	seed := flag.Uint64("seed", 1, "simulation seed")
+	seed := flag.Uint64("seed", 1, "simulation seed (base seed when -runs > 1)")
+	runs := flag.Int("runs", 1, "number of repeats with derived per-run seeds")
+	parallel := flag.Int("parallel", 0, "worker pool size for -runs (default GOMAXPROCS)")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON file to this path")
 	schedstats := flag.Bool("schedstats", false, "print per-vCPU scheduling statistics")
 	tracecap := flag.Int("tracecap", trace.DefaultRingCapacity, "trace ring capacity (events)")
@@ -62,79 +73,148 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown mode %q\n", *modeStr)
 		os.Exit(2)
 	}
-
-	s := scenario.DefaultSetup()
-	s.Mode = mode
-	s.VMVCPUs = *vcpus
-	s.PCPUs = *pcpus
-	s.Seed = *seed
-	s.NoBackground = *nobg
-	if *traceOut != "" || *schedstats {
-		s.Tracer = trace.New(trace.Config{RingCapacity: *tracecap})
-	}
-	b := scenario.Build(s)
-	if *activetrace {
-		b.K.StartTrace(100 * sim.Millisecond)
-	}
-
-	fmt.Printf("host: %d pCPUs, VM: %d vCPUs, %d background VMs, mode: %v, workload: %s\n",
-		s.PCPUs, s.VMVCPUs, len(b.BG), mode, *wl)
-
-	switch {
-	case strings.HasPrefix(*wl, "npb:"):
-		app := strings.TrimPrefix(*wl, "npb:")
-		p, err := npb.ProfileFor(app)
-		fatal(err)
-		res := b.RunApp(func(k *guest.Kernel) *workload.App {
-			return npb.Launch(k, p, *vcpus, guest.SpinBudgetFromCount(*spin))
-		}, sim.FromSeconds(*maxSecs))
-		printResult(res)
-	case strings.HasPrefix(*wl, "parsec:"):
-		app := strings.TrimPrefix(*wl, "parsec:")
-		p, err := parsec.ProfileFor(app)
-		fatal(err)
-		res := b.RunApp(func(k *guest.Kernel) *workload.App {
-			return parsec.Launch(k, p, *vcpus, guest.SpinBudgetFromCount(*spin))
-		}, sim.FromSeconds(*maxSecs))
-		printResult(res)
-	case *wl == "kernel-build":
-		res := b.RunApp(func(k *guest.Kernel) *workload.App {
-			app := workload.NewApp(k, "kernel-build")
-			workload.NewKernelBuild(k, 2**vcpus).Start(app)
-			return app
-		}, sim.FromSeconds(*maxSecs))
-		printResult(res) // forever-workload: reports the deadline window
-	case strings.HasPrefix(*wl, "httpd:"):
-		rateK, err := strconv.ParseFloat(strings.TrimPrefix(*wl, "httpd:"), 64)
-		fatal(err)
-		cfg := httpd.DefaultConfig()
-		link := httpd.NewLink(b.Eng, cfg.LinkBps)
-		srv := httpd.NewServer(b.K, link, cfg)
-		client := httpd.NewClient(srv, sim.NewRand(*seed+7))
-		warm := 2 * sim.Second
-		fatal(b.Eng.RunUntil(warm))
-		window := sim.FromSeconds(*maxSecs)
-		client.Run(rateK*1000, window)
-		fatal(b.Eng.RunUntil(warm + window + 2*sim.Second))
-		r := srv.Result(rateK*1000, window)
-		fmt.Printf("offered: %.1fK/s  replies: %.2fK/s  conn: %.2fms  resp: %.2fms  errors: %d\n",
-			r.RateRequested/1000, r.ReplyRate/1000, r.AvgConnMs, r.AvgRespMs, r.Errors)
-	default:
-		fmt.Fprintf(os.Stderr, "unknown workload %q\n", *wl)
+	if *runs < 1 {
+		fmt.Fprintln(os.Stderr, "-runs must be >= 1")
 		os.Exit(2)
 	}
 
-	if *activetrace {
-		fmt.Println("\nactive-vCPU trace:")
-		for _, p := range b.K.Trace() {
-			fmt.Printf("  t=%6.2fs  active=%d %s\n", p.At.Seconds(), p.Active,
-				strings.Repeat("#", p.Active))
+	wantTrace := *traceOut != "" || *schedstats
+
+	// runOnce builds, runs and renders one scenario; its text output goes
+	// to the returned buffer so repeats can print in run order whatever
+	// the worker interleaving.
+	runOnce := func(runSeed uint64, tr *trace.Tracer) (string, error) {
+		var out strings.Builder
+		s := scenario.DefaultSetup()
+		s.Mode = mode
+		s.VMVCPUs = *vcpus
+		s.PCPUs = *pcpus
+		s.Seed = runSeed
+		s.NoBackground = *nobg
+		s.Tracer = tr
+		b := scenario.Build(s)
+		if *activetrace {
+			b.K.StartTrace(100 * sim.Millisecond)
 		}
+
+		fmt.Fprintf(&out, "host: %d pCPUs, VM: %d vCPUs, %d background VMs, mode: %v, workload: %s, seed: %d\n",
+			s.PCPUs, s.VMVCPUs, len(b.BG), mode, *wl, runSeed)
+
+		printResult := func(r scenario.AppResult) {
+			status := "completed"
+			if r.TimedOut {
+				status = "deadline reached"
+			}
+			fmt.Fprintf(&out, "%s: exec=%v  vm-wait=%v  ipis/vcpu/s=%.1f  avg-active-vcpus=%.2f\n",
+				status, r.ExecTime, r.WaitTime, r.IPIsPerVCPUSec, r.AvgActiveVCPUs)
+		}
+
+		switch {
+		case strings.HasPrefix(*wl, "npb:"):
+			app := strings.TrimPrefix(*wl, "npb:")
+			p, err := npb.ProfileFor(app)
+			if err != nil {
+				return "", err
+			}
+			res, err := b.RunApp(func(k *guest.Kernel) *workload.App {
+				return npb.Launch(k, p, *vcpus, guest.SpinBudgetFromCount(*spin))
+			}, sim.FromSeconds(*maxSecs))
+			if err != nil {
+				return "", err
+			}
+			printResult(res)
+		case strings.HasPrefix(*wl, "parsec:"):
+			app := strings.TrimPrefix(*wl, "parsec:")
+			p, err := parsec.ProfileFor(app)
+			if err != nil {
+				return "", err
+			}
+			res, err := b.RunApp(func(k *guest.Kernel) *workload.App {
+				return parsec.Launch(k, p, *vcpus, guest.SpinBudgetFromCount(*spin))
+			}, sim.FromSeconds(*maxSecs))
+			if err != nil {
+				return "", err
+			}
+			printResult(res)
+		case *wl == "kernel-build":
+			res, err := b.RunApp(func(k *guest.Kernel) *workload.App {
+				app := workload.NewApp(k, "kernel-build")
+				workload.NewKernelBuild(k, 2**vcpus).Start(app)
+				return app
+			}, sim.FromSeconds(*maxSecs))
+			if err != nil {
+				return "", err
+			}
+			printResult(res) // forever-workload: reports the deadline window
+		case strings.HasPrefix(*wl, "httpd:"):
+			rateK, err := strconv.ParseFloat(strings.TrimPrefix(*wl, "httpd:"), 64)
+			if err != nil {
+				return "", err
+			}
+			cfg := httpd.DefaultConfig()
+			link := httpd.NewLink(b.Eng, cfg.LinkBps)
+			srv := httpd.NewServer(b.K, link, cfg)
+			client := httpd.NewClient(srv, sim.NewRand(runSeed+7))
+			warm := 2 * sim.Second
+			if err := b.Eng.RunUntil(warm); err != nil {
+				return "", err
+			}
+			window := sim.FromSeconds(*maxSecs)
+			client.Run(rateK*1000, window)
+			if err := b.Eng.RunUntil(warm + window + 2*sim.Second); err != nil {
+				return "", err
+			}
+			b.FinishTrace()
+			r := srv.Result(rateK*1000, window)
+			fmt.Fprintf(&out, "offered: %.1fK/s  replies: %.2fK/s  conn: %.2fms  resp: %.2fms  errors: %d\n",
+				r.RateRequested/1000, r.ReplyRate/1000, r.AvgConnMs, r.AvgRespMs, r.Errors)
+		default:
+			return "", fmt.Errorf("unknown workload %q", *wl)
+		}
+
+		if *activetrace {
+			fmt.Fprintln(&out, "\nactive-vCPU trace:")
+			for _, p := range b.K.Trace() {
+				fmt.Fprintf(&out, "  t=%6.2fs  active=%d %s\n", p.At.Seconds(), p.Active,
+					strings.Repeat("#", p.Active))
+			}
+		}
+		return out.String(), nil
 	}
 
-	if tr := b.Tracer; tr != nil {
-		end := b.Eng.Now()
-		tr.SetEngineCounters(b.Eng.Scheduled, b.Eng.Cancelled, b.Eng.Processed)
+	rep := &runner.Report{}
+	outs, err := runner.Run(runner.Options{
+		Workers:       *parallel,
+		BaseSeed:      *seed,
+		Trace:         wantTrace,
+		TraceCapacity: *tracecap,
+		Report:        rep,
+	}, *runs, func(ctx runner.Context) (string, error) {
+		runSeed := *seed
+		if *runs > 1 {
+			runSeed = ctx.Seed // splitmix64-derived, stable per index
+		}
+		return runOnce(runSeed, ctx.Tracer)
+	})
+	fatal(err)
+	for i, o := range outs {
+		if *runs > 1 {
+			fmt.Printf("--- run %d ---\n", i)
+		}
+		fmt.Print(o)
+	}
+	if *runs > 1 {
+		fmt.Printf("\n%d runs in %v wall (%v cpu, %.2fx speedup, %d workers)\n",
+			rep.Jobs, rep.Wall.Round(time.Millisecond), rep.CPU().Round(time.Millisecond),
+			rep.Speedup(), rep.Workers)
+	}
+
+	if wantTrace {
+		tr := trace.Merge(rep.LiveTracers()...)
+		if tr == nil {
+			tr = trace.New(trace.Config{RingCapacity: 1})
+		}
+		end := tr.MaxAt()
 		if *traceOut != "" {
 			f, err := os.Create(*traceOut)
 			fatal(err)
@@ -148,15 +228,6 @@ func main() {
 			fmt.Print(report.RenderSchedStats(tr.Snapshot(end)))
 		}
 	}
-}
-
-func printResult(r scenario.AppResult) {
-	status := "completed"
-	if r.TimedOut {
-		status = "deadline reached"
-	}
-	fmt.Printf("%s: exec=%v  vm-wait=%v  ipis/vcpu/s=%.1f  avg-active-vcpus=%.2f\n",
-		status, r.ExecTime, r.WaitTime, r.IPIsPerVCPUSec, r.AvgActiveVCPUs)
 }
 
 func fatal(err error) {

@@ -27,9 +27,12 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		res := sc.RunApp(func(k *guest.Kernel) *workload.App {
+		res, err := sc.RunApp(func(k *guest.Kernel) *workload.App {
 			return npb.Launch(k, profile, vcpus, vscale.SpinBudgetFromCount(300_000))
 		}, 10*vscale.Second)
+		if err != nil {
+			panic(err)
+		}
 
 		fmt.Printf("\n%d-vCPU VM (avg active %.2f):\n", vcpus, res.AvgActiveVCPUs)
 		for _, p := range sc.K.Trace() {

@@ -38,9 +38,12 @@ func main() {
 			if err != nil {
 				panic(err)
 			}
-			res := sc.RunApp(func(k *guest.Kernel) *workload.App {
+			res, err := sc.RunApp(func(k *guest.Kernel) *workload.App {
 				return npb.Launch(k, profile, setup.VMVCPUs, vscale.SpinBudgetFromCount(pol.count))
 			}, 600*vscale.Second)
+			if err != nil {
+				panic(err)
+			}
 			if mode == vscale.Baseline {
 				baseline = float64(res.ExecTime)
 			}

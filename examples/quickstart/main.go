@@ -24,10 +24,14 @@ func main() {
 		if err != nil {
 			panic(err)
 		}
-		return sc.RunApp(func(k *guest.Kernel) *workload.App {
+		res, err := sc.RunApp(func(k *guest.Kernel) *workload.App {
 			// OMP_WAIT_POLICY=ACTIVE: threads spin at barriers.
 			return npb.Launch(k, profile, setup.VMVCPUs, vscale.SpinBudgetFromCount(30_000_000_000))
 		}, 600*vscale.Second)
+		if err != nil {
+			panic(err)
+		}
+		return res
 	}
 
 	base := run(vscale.Baseline)

@@ -5,8 +5,10 @@ import (
 
 	"vscale/internal/guest"
 	"vscale/internal/report"
+	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
+	"vscale/internal/trace"
 	"vscale/internal/workload/httpd"
 )
 
@@ -29,30 +31,47 @@ type ApacheResult struct {
 	Rates  []float64 // offered rates in K/s
 }
 
-// Apache sweeps the request rate for each configuration (Figure 14).
-// rates are in K requests/s; window is the measurement duration (the
-// paper uses 1 minute per point).
-func Apache(rates []float64, window sim.Time, modes []scenario.Mode) ApacheResult {
+// Apache sweeps the request rate for each configuration (Figure 14),
+// fanning the independent (mode, rate) load levels across the runner's
+// worker pool. rates are in K requests/s; window is the measurement
+// duration (the paper uses 1 minute per point).
+func Apache(opts runner.Options, rates []float64, window sim.Time, modes []scenario.Mode) (ApacheResult, error) {
 	if rates == nil {
 		rates = []float64{0.5, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
 	}
 	if modes == nil {
 		modes = scenario.Modes()
 	}
-	out := ApacheResult{VMVCPUs: 4, Window: window, Rates: rates,
-		Points: make(map[scenario.Mode][]ApachePoint)}
+	type cell struct {
+		mode scenario.Mode
+		rate float64
+	}
+	var cells []cell
 	for _, m := range modes {
 		for _, rate := range rates {
-			out.Points[m] = append(out.Points[m], apacheOnce(m, rate, window))
+			cells = append(cells, cell{m, rate})
 		}
 	}
-	return out
+	points, err := runner.Run(opts, len(cells), func(ctx runner.Context) (ApachePoint, error) {
+		c := cells[ctx.Index]
+		return apacheOnce(c.mode, c.rate, window, ctx.Tracer)
+	})
+	if err != nil {
+		return ApacheResult{}, err
+	}
+	out := ApacheResult{VMVCPUs: 4, Window: window, Rates: rates,
+		Points: make(map[scenario.Mode][]ApachePoint)}
+	for i, c := range cells {
+		out.Points[c.mode] = append(out.Points[c.mode], points[i])
+	}
+	return out, nil
 }
 
-func apacheOnce(mode scenario.Mode, rateK float64, window sim.Time) ApachePoint {
+func apacheOnce(mode scenario.Mode, rateK float64, window sim.Time, tr *trace.Tracer) (ApachePoint, error) {
 	s := scenario.DefaultSetup()
 	s.Mode = mode
 	s.VMVCPUs = 4
+	s.Tracer = tr
 	b := scenario.Build(s)
 
 	cfg := httpd.DefaultConfig()
@@ -63,12 +82,13 @@ func apacheOnce(mode scenario.Mode, rateK float64, window sim.Time) ApachePoint 
 	// Warm up 2 s, then measure for the window plus drain time.
 	warm := 2 * sim.Second
 	if err := b.Eng.RunUntil(warm); err != nil {
-		panic(err)
+		return ApachePoint{}, err
 	}
 	client.Run(rateK*1000, window)
 	if err := b.Eng.RunUntil(warm + window + 2*sim.Second); err != nil {
-		panic(err)
+		return ApachePoint{}, err
 	}
+	b.FinishTrace()
 	res := srv.Result(rateK*1000, window)
 	return ApachePoint{
 		RateK:     rateK,
@@ -77,7 +97,7 @@ func apacheOnce(mode scenario.Mode, rateK float64, window sim.Time) ApachePoint 
 		RespMs:    res.AvgRespMs,
 		Errors:    res.Errors,
 		RxIntPerS: float64(res.RxInterrupts) / window.Seconds(),
-	}
+	}, nil
 }
 
 // Render produces the three Figure 14 sub-tables (reply rate,

@@ -4,12 +4,16 @@ import (
 	"strings"
 	"testing"
 
+	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
 )
 
 func TestTable1MatchesPaper(t *testing.T) {
-	r := Table1(100)
+	r, err := Table1(100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Total != 910*sim.Nanosecond {
 		t.Fatalf("channel read total = %v, want 0.91µs", r.Total)
 	}
@@ -43,7 +47,10 @@ func TestFigure4Shape(t *testing.T) {
 }
 
 func TestTable2Quiescence(t *testing.T) {
-	r := Table2()
+	r, err := Table2()
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 4; i++ {
 		if r.Before.TimerPerSec[i] < 900 || r.Before.TimerPerSec[i] > 1100 {
 			t.Fatalf("vCPU%d before: %.0f ticks/s, want ~1000", i, r.Before.TimerPerSec[i])
@@ -81,7 +88,10 @@ func TestTable3Breakdown(t *testing.T) {
 }
 
 func TestFigure5Bands(t *testing.T) {
-	r := Figure5(100)
+	r, err := Figure5(100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// vScale's 2.1µs vs the best hotplug op (~0.35ms): >100x.
 	add := r.Add["v-3.14.15"]
 	if add.Quantile(0.5) < 0.3 {
@@ -98,9 +108,12 @@ func TestFigure5Bands(t *testing.T) {
 
 func TestNPBSweepHeadline(t *testing.T) {
 	// Scaled-down sweep: two apps, two modes, one spin count.
-	r := NPBSweep(4, []string{"cg", "ep"},
+	r, err := NPBSweep(runner.Options{}, 4, []string{"cg", "ep"},
 		[]scenario.Mode{scenario.Baseline, scenario.VScale},
 		[]uint64{30_000_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
 	cg := r.Normalized("cg", scenario.VScale, 30_000_000_000)
 	ep := r.Normalized("ep", scenario.VScale, 30_000_000_000)
 	if cg > 0.8 {
@@ -121,8 +134,30 @@ func TestNPBSweepHeadline(t *testing.T) {
 	}
 }
 
+// TestNPBSweepParallelDeterminism is the headline determinism check: the
+// rendered tables must be byte-identical whatever the worker count.
+func TestNPBSweepParallelDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		r, err := NPBSweep(runner.Options{Workers: workers}, 4, []string{"ep"},
+			[]scenario.Mode{scenario.Baseline, scenario.VScale},
+			[]uint64{300_000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.RenderFigure(300_000) + r.RenderFigure10()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("serial vs 8-worker output differs:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
 func TestFigure8TraceOscillates(t *testing.T) {
-	r := Figure8(10 * sim.Second)
+	r, err := Figure8(runner.Options{}, 10*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	tr4 := r.Traces[4]
 	if len(tr4) < 50 {
 		t.Fatalf("trace too short: %d points", len(tr4))
@@ -158,8 +193,11 @@ func TestFigure8TraceOscillates(t *testing.T) {
 }
 
 func TestParsecSweepShape(t *testing.T) {
-	r := ParsecSweep(4, []string{"dedup", "swaptions"},
+	r, err := ParsecSweep(runner.Options{}, 4, []string{"dedup", "swaptions"},
 		[]scenario.Mode{scenario.Baseline, scenario.VScale})
+	if err != nil {
+		t.Fatal(err)
+	}
 	dedup := r.Normalized("dedup", scenario.VScale)
 	swap := r.Normalized("swaptions", scenario.VScale)
 	if dedup > 1.0 {
@@ -182,8 +220,11 @@ func TestParsecSweepShape(t *testing.T) {
 }
 
 func TestApacheShape(t *testing.T) {
-	r := Apache([]float64{4, 7, 10}, 8*sim.Second,
+	r, err := Apache(runner.Options{}, []float64{4, 7, 10}, 8*sim.Second,
 		[]scenario.Mode{scenario.Baseline, scenario.VScale})
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Linear region identical.
 	b4 := r.Points[scenario.Baseline][0]
 	v4 := r.Points[scenario.VScale][0]
@@ -207,7 +248,10 @@ func TestApacheShape(t *testing.T) {
 }
 
 func TestAblations(t *testing.T) {
-	a1 := AblationWeightOnly("cg")
+	a1, err := AblationWeightOnly(runner.Options{}, "cg")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a1.Exec) != 3 {
 		t.Fatal("A1 variants missing")
 	}
@@ -217,18 +261,27 @@ func TestAblations(t *testing.T) {
 		t.Fatalf("weight-only %.2fs unexpectedly beats vScale %.2fs",
 			a1.Exec[1].Seconds(), a1.Exec[0].Seconds())
 	}
-	a2 := AblationHotplugPath("cg")
+	a2, err := AblationHotplugPath(runner.Options{}, "cg")
+	if err != nil {
+		t.Fatal(err)
+	}
 	// The ms-scale reconfiguration path must be no better than the
 	// µs-scale balancer.
 	if float64(a2.Exec[1]) < 0.95*float64(a2.Exec[0]) {
 		t.Fatalf("hotplug path %.2fs beats balancer %.2fs", a2.Exec[1].Seconds(), a2.Exec[0].Seconds())
 	}
-	a4 := AblationPerVMWeight("cg")
+	a4, err := AblationPerVMWeight(runner.Options{}, "cg")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if float64(a4.Exec[1]) < float64(a4.Exec[0]) {
 		t.Fatalf("per-vCPU weight %.2fs beats per-VM weight %.2fs (it forfeits share)",
 			a4.Exec[1].Seconds(), a4.Exec[0].Seconds())
 	}
-	a5 := AblationCeilMargin("cg")
+	a5, err := AblationCeilMargin(runner.Options{}, "cg")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(a5.Exec) != 2 {
 		t.Fatal("A5 variants missing")
 	}
@@ -240,7 +293,10 @@ func TestAblations(t *testing.T) {
 }
 
 func TestAblationSchedulerGenerality(t *testing.T) {
-	r := AblationSchedulerGenerality("cg")
+	r, err := AblationSchedulerGenerality(runner.Options{}, "cg")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Exec) != 4 {
 		t.Fatal("A6 variants missing")
 	}
@@ -257,7 +313,10 @@ func TestAblationSchedulerGenerality(t *testing.T) {
 }
 
 func TestAblationDaemonPeriod(t *testing.T) {
-	r := AblationDaemonPeriod("cg", []sim.Time{10 * sim.Millisecond, sim.Second})
+	r, err := AblationDaemonPeriod(runner.Options{}, "cg", []sim.Time{10 * sim.Millisecond, sim.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Exec) != 2 {
 		t.Fatal("variants missing")
 	}
@@ -269,7 +328,10 @@ func TestAblationDaemonPeriod(t *testing.T) {
 }
 
 func TestExtensionAdaptiveTeam(t *testing.T) {
-	r := ExtensionAdaptiveTeam("cg")
+	r, err := ExtensionAdaptiveTeam(runner.Options{}, "cg")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Adapted >= r.FixedExec {
 		t.Fatalf("adaptive team %.2fs not faster than fixed %.2fs", r.Adapted.Seconds(), r.FixedExec.Seconds())
 	}
@@ -285,7 +347,10 @@ func TestExtensionAdaptiveTeam(t *testing.T) {
 }
 
 func TestMotivationPhenomena(t *testing.T) {
-	r := Motivation(5 * sim.Second)
+	r, err := Motivation(runner.Options{}, 5*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ded, base, vs := r.SpinWasteFrac["dedicated"], r.SpinWasteFrac["Xen/Linux"], r.SpinWasteFrac["vScale"]
 	// (a) consolidation inflates spin waste; vScale recovers part of it.
 	if base < ded+0.1 {
@@ -321,5 +386,80 @@ func TestSpinLabels(t *testing.T) {
 	}
 	if SpinLabel(7) != "7" {
 		t.Fatal("fallback label wrong")
+	}
+}
+
+func TestRegistryShape(t *testing.T) {
+	names := Names()
+	if len(names) < 17 {
+		t.Fatalf("registry has %d entries, want >= 17", len(names))
+	}
+	// "all" order starts with the motivation and ends with the §7
+	// extension.
+	if names[0] != "figure1" || names[len(names)-1] != "extension" {
+		t.Fatalf("registry order wrong: %v", names)
+	}
+	seen := map[string]bool{}
+	for _, e := range Registry() {
+		if seen[e.Name] {
+			t.Fatalf("duplicate registry entry %q", e.Name)
+		}
+		seen[e.Name] = true
+		if e.Title == "" || e.Desc == "" || e.Run == nil {
+			t.Fatalf("entry %q incomplete", e.Name)
+		}
+	}
+	if _, ok := Find("figure6"); !ok {
+		t.Fatal("Find(figure6) failed")
+	}
+	if _, ok := Find("nonesuch"); ok {
+		t.Fatal("Find(nonesuch) should fail")
+	}
+}
+
+func TestRegistryRunAnalytic(t *testing.T) {
+	e, ok := Find("table3")
+	if !ok {
+		t.Fatal("table3 missing")
+	}
+	res, err := e.Run(NewConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(res.Text, "Table 3") {
+		t.Fatalf("table3 text broken:\n%s", res.Text)
+	}
+	if res.Report != nil {
+		t.Fatal("analytic experiment should carry no runner report")
+	}
+}
+
+func TestRegistrySharedSweepMemo(t *testing.T) {
+	c := NewConfig()
+	c.Quick = true
+	c.Workers = 4
+	// Shrink the shared sweep by memoizing it ourselves first: a tiny
+	// one-app sweep stands in for figure6's full run.
+	pre, err := NPBSweep(runner.Options{}, 4, []string{"ep"}, nil, []uint64{30_000_000_000, 300_000, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.npb4 = &npbMemo{res: pre}
+	f6, _ := Find("figure6")
+	f9, _ := Find("figure9")
+	r6, err := f6.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r9, err := f9.Run(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(r6.Text, "Figure 6") || !strings.Contains(r9.Text, "Figure 9") {
+		t.Fatal("shared-sweep renders broken")
+	}
+	// Both reused the memo, so neither ran fresh jobs.
+	if r6.Report != nil || r9.Report != nil {
+		t.Fatal("memoized sweep should not produce fresh runner reports")
 	}
 }

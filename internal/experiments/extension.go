@@ -5,6 +5,7 @@ import (
 
 	"vscale/internal/guest"
 	"vscale/internal/report"
+	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
 	"vscale/internal/workload"
@@ -26,33 +27,43 @@ type ExtensionResult struct {
 
 // ExtensionAdaptiveTeam runs the comparison under vScale with heavy
 // user-level spinning — the regime where surplus spinners on a shrunken
-// VM hurt the most.
-func ExtensionAdaptiveTeam(app string) ExtensionResult {
+// VM hurt the most. The fixed and adaptive runs execute as parallel
+// jobs.
+func ExtensionAdaptiveTeam(opts runner.Options, app string) (ExtensionResult, error) {
 	p, err := npb.ProfileFor(app)
 	if err != nil {
-		panic(err)
+		return ExtensionResult{}, err
 	}
-	res := ExtensionResult{App: app}
-	run := func(adaptive bool) (sim.Time, sim.Time, sim.Time) {
+	type row struct{ exec, spin, wait sim.Time }
+	rows, err := runner.Run(opts, 2, func(ctx runner.Context) (row, error) {
+		adaptive := ctx.Index == 1
 		s := scenario.DefaultSetup()
 		s.Mode = scenario.VScale
+		s.Tracer = ctx.Tracer
 		b := scenario.Build(s)
-		r := b.RunApp(func(k *guest.Kernel) *workload.App {
+		r, err := b.RunApp(func(k *guest.Kernel) *workload.App {
 			budget := guest.SpinBudgetFromCount(30_000_000_000)
 			if adaptive {
 				return npb.AdaptiveLaunch(k, p, s.VMVCPUs, budget)
 			}
 			return npb.Launch(k, p, s.VMVCPUs, budget)
 		}, 600*sim.Second)
+		if err != nil {
+			return row{}, err
+		}
 		var spin sim.Time
 		for i := 0; i < b.K.NCPUs(); i++ {
 			spin += b.K.CPUStatsOf(i).UserSpinTime
 		}
-		return r.ExecTime, spin, r.WaitTime
+		return row{r.ExecTime, spin, r.WaitTime}, nil
+	})
+	if err != nil {
+		return ExtensionResult{}, err
 	}
-	res.FixedExec, res.FixedSpin, res.FixedWait = run(false)
-	res.Adapted, res.AdaptSpin, res.AdaptWait = run(true)
-	return res
+	res := ExtensionResult{App: app}
+	res.FixedExec, res.FixedSpin, res.FixedWait = rows[0].exec, rows[0].spin, rows[0].wait
+	res.Adapted, res.AdaptSpin, res.AdaptWait = rows[1].exec, rows[1].spin, rows[1].wait
+	return res, nil
 }
 
 // Render produces the comparison table.

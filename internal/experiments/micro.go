@@ -35,7 +35,7 @@ type Table1Result struct {
 }
 
 // Table1 measures the vScale channel read cost.
-func Table1(reads int) Table1Result {
+func Table1(reads int) (Table1Result, error) {
 	res := Table1Result{
 		SyscallCost:   costmodel.Syscall,
 		HypercallCost: costmodel.Hypercall,
@@ -56,12 +56,12 @@ func Table1(reads int) Table1Result {
 	k.Boot()
 	dur := sim.Time(reads) * gcfg.VScale.Period
 	if err := eng.RunUntil(dur + 50*sim.Millisecond); err != nil {
-		panic(err)
+		return Table1Result{}, err
 	}
 	n, _ := k.DaemonStats()
 	res.MeasuredReads = n
 	res.MeasuredMean = costmodel.ChannelRead // charged exactly per read
-	return res
+	return res, nil
 }
 
 // Render produces the Table 1 text.
@@ -132,7 +132,7 @@ type Table2Result struct {
 }
 
 // Table2 runs the interrupt-quiescence experiment.
-func Table2() Table2Result {
+func Table2() (Table2Result, error) {
 	eng := sim.NewEngine(11)
 	pool := xen.NewPool(eng, xen.DefaultConfig(4))
 	dom := pool.AddDomain("vm", 256, 4, nil)
@@ -153,11 +153,11 @@ func Table2() Table2Result {
 	}
 
 	if err := eng.RunUntil(window); err != nil {
-		panic(err)
+		return Table2Result{}, err
 	}
 	s0 := snapshot()
 	if err := eng.RunUntil(2 * window); err != nil {
-		panic(err)
+		return Table2Result{}, err
 	}
 	s1 := snapshot()
 	for i := 0; i < 4; i++ {
@@ -166,21 +166,21 @@ func Table2() Table2Result {
 	}
 
 	if err := k.FreezeVCPU(3); err != nil {
-		panic(err)
+		return Table2Result{}, err
 	}
 	if err := eng.RunUntil(2*window + 100*sim.Millisecond); err != nil {
-		panic(err)
+		return Table2Result{}, err
 	}
 	s2 := snapshot()
 	if err := eng.RunUntil(3*window + 100*sim.Millisecond); err != nil {
-		panic(err)
+		return Table2Result{}, err
 	}
 	s3 := snapshot()
 	for i := 0; i < 4; i++ {
 		res.After.TimerPerSec[i] = float64(s3[i].TimerInterrupts-s2[i].TimerInterrupts) / window.Seconds()
 		res.After.IPIPerSec[i] = float64(s3[i].ReschedIPIs-s2[i].ReschedIPIs) / window.Seconds()
 	}
-	return res
+	return res, nil
 }
 
 // Render produces the Table 2 text.
@@ -254,7 +254,7 @@ type Figure5Result struct {
 }
 
 // Figure5 samples hotplug latencies.
-func Figure5(reps int) Figure5Result {
+func Figure5(reps int) (Figure5Result, error) {
 	res := Figure5Result{
 		Reps:   reps,
 		Remove: make(map[string]*metrics.Sample),
@@ -264,7 +264,7 @@ func Figure5(reps int) Figure5Result {
 	for _, v := range hotplug.Versions() {
 		s, err := hotplug.NewSampler(v, r)
 		if err != nil {
-			panic(err)
+			return Figure5Result{}, err
 		}
 		rm, ad := &metrics.Sample{}, &metrics.Sample{}
 		for i := 0; i < reps; i++ {
@@ -274,7 +274,7 @@ func Figure5(reps int) Figure5Result {
 		res.Remove[v] = rm
 		res.Add[v] = ad
 	}
-	return res
+	return res, nil
 }
 
 // Render produces the Figure 5 quantile table.

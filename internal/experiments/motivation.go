@@ -5,6 +5,7 @@ import (
 
 	"vscale/internal/guest"
 	"vscale/internal/report"
+	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
 	"vscale/internal/workload"
@@ -32,14 +33,15 @@ type MotivationResult struct {
 var motivationConfigs = []string{"dedicated", "Xen/Linux", "vScale"}
 
 // Motivation runs one synchronisation+I/O workload under the three
-// hosts and extracts the Figure 1 quantities.
-func Motivation(duration sim.Time) MotivationResult {
-	res := MotivationResult{
-		SpinWasteFrac: make(map[string]float64),
-		IPIDelayUs:    make(map[string][3]float64),
-		IRQDelayUs:    make(map[string][3]float64),
+// hosts (as parallel jobs) and extracts the Figure 1 quantities.
+func Motivation(opts runner.Options, duration sim.Time) (MotivationResult, error) {
+	type row struct {
+		spin float64
+		ipi  [3]float64
+		irq  [3]float64
 	}
-	for _, cfgName := range motivationConfigs {
+	rows, err := runner.Run(opts, len(motivationConfigs), func(ctx runner.Context) (row, error) {
+		cfgName := motivationConfigs[ctx.Index]
 		s := scenario.DefaultSetup()
 		switch cfgName {
 		case "dedicated":
@@ -50,6 +52,7 @@ func Motivation(duration sim.Time) MotivationResult {
 		case "vScale":
 			s.Mode = scenario.VScale
 		}
+		s.Tracer = ctx.Tracer
 		b := scenario.Build(s)
 		k := b.K
 
@@ -101,25 +104,41 @@ func Motivation(duration sim.Time) MotivationResult {
 		}})
 
 		if err := b.Eng.RunUntil(duration); err != nil {
-			panic(err)
+			return row{}, err
 		}
+		b.FinishTrace()
 
+		var out row
 		var spin, run sim.Time
 		for i := 0; i < k.NCPUs(); i++ {
 			spin += k.CPUStatsOf(i).UserSpinTime
 		}
 		run = b.VM.TotalRunTime
 		if run > 0 {
-			res.SpinWasteFrac[cfgName] = float64(spin) / float64(run)
+			out.spin = float64(spin) / float64(run)
 		}
-		res.IPIDelayUs[cfgName] = [3]float64{
+		out.ipi = [3]float64{
 			b.VM.IPIDelay.Quantile(0.5), b.VM.IPIDelay.Quantile(0.99), b.VM.IPIDelay.Max(),
 		}
-		res.IRQDelayUs[cfgName] = [3]float64{
+		out.irq = [3]float64{
 			b.VM.IRQDelay.Quantile(0.5), b.VM.IRQDelay.Quantile(0.99), b.VM.IRQDelay.Max(),
 		}
+		return out, nil
+	})
+	if err != nil {
+		return MotivationResult{}, err
 	}
-	return res
+	res := MotivationResult{
+		SpinWasteFrac: make(map[string]float64),
+		IPIDelayUs:    make(map[string][3]float64),
+		IRQDelayUs:    make(map[string][3]float64),
+	}
+	for i, cfgName := range motivationConfigs {
+		res.SpinWasteFrac[cfgName] = rows[i].spin
+		res.IPIDelayUs[cfgName] = rows[i].ipi
+		res.IRQDelayUs[cfgName] = rows[i].irq
+	}
+	return res, nil
 }
 
 // Render produces the Figure 1 quantification table.

@@ -5,8 +5,10 @@ import (
 
 	"vscale/internal/guest"
 	"vscale/internal/report"
+	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
+	"vscale/internal/trace"
 	"vscale/internal/workload"
 	"vscale/internal/workload/npb"
 )
@@ -49,29 +51,36 @@ type NPBResult struct {
 }
 
 // runNPBOnce executes one configuration.
-func runNPBOnce(app string, mode scenario.Mode, spin uint64, vcpus int, seed uint64) NPBRun {
+func runNPBOnce(app string, mode scenario.Mode, spin uint64, vcpus int, seed uint64, tr *trace.Tracer) (NPBRun, error) {
 	s := scenario.DefaultSetup()
 	s.Mode = mode
 	s.VMVCPUs = vcpus
 	s.Seed = seed
+	s.Tracer = tr
 	b := scenario.Build(s)
 	p, err := npb.ProfileFor(app)
 	if err != nil {
-		panic(err)
+		return NPBRun{}, err
 	}
-	res := b.RunApp(func(k *guest.Kernel) *workload.App {
+	res, err := b.RunApp(func(k *guest.Kernel) *workload.App {
 		return npb.Launch(k, p, vcpus, guest.SpinBudgetFromCount(spin))
 	}, 600*sim.Second)
+	if err != nil {
+		return NPBRun{}, err
+	}
 	return NPBRun{
 		App: app, Mode: mode, Spin: spin,
 		Exec: res.ExecTime, Wait: res.WaitTime,
 		IPIRate: res.IPIsPerVCPUSec, AvgVCPUs: res.AvgActiveVCPUs,
-	}
+	}, nil
 }
 
 // NPBSweep runs apps × modes × spin counts on a VM with the given vCPU
-// count. Passing nil lists selects the full paper sweep.
-func NPBSweep(vcpus int, apps []string, modes []scenario.Mode, spins []uint64) NPBResult {
+// count, fanning the independent configurations across the runner's
+// worker pool. Passing nil lists selects the full paper sweep. Every
+// configuration keeps the historical fixed seed so the rendered tables
+// match the archived EXPERIMENTS.md numbers whatever the worker count.
+func NPBSweep(opts runner.Options, vcpus int, apps []string, modes []scenario.Mode, spins []uint64) (NPBResult, error) {
 	if apps == nil {
 		apps = npb.Names()
 	}
@@ -81,18 +90,38 @@ func NPBSweep(vcpus int, apps []string, modes []scenario.Mode, spins []uint64) N
 	if spins == nil {
 		spins = SpinCounts
 	}
-	out := NPBResult{VMVCPUs: vcpus, Apps: apps,
-		Runs: make(map[string]map[scenario.Mode]map[uint64]NPBRun)}
+	type cell struct {
+		app  string
+		mode scenario.Mode
+		spin uint64
+	}
+	var cells []cell
 	for _, app := range apps {
-		out.Runs[app] = make(map[scenario.Mode]map[uint64]NPBRun)
 		for _, m := range modes {
-			out.Runs[app][m] = make(map[uint64]NPBRun)
 			for _, spin := range spins {
-				out.Runs[app][m][spin] = runNPBOnce(app, m, spin, vcpus, 1)
+				cells = append(cells, cell{app, m, spin})
 			}
 		}
 	}
-	return out
+	runs, err := runner.Run(opts, len(cells), func(ctx runner.Context) (NPBRun, error) {
+		c := cells[ctx.Index]
+		return runNPBOnce(c.app, c.mode, c.spin, vcpus, 1, ctx.Tracer)
+	})
+	if err != nil {
+		return NPBResult{}, err
+	}
+	out := NPBResult{VMVCPUs: vcpus, Apps: apps,
+		Runs: make(map[string]map[scenario.Mode]map[uint64]NPBRun)}
+	for i, c := range cells {
+		if out.Runs[c.app] == nil {
+			out.Runs[c.app] = make(map[scenario.Mode]map[uint64]NPBRun)
+		}
+		if out.Runs[c.app][c.mode] == nil {
+			out.Runs[c.app][c.mode] = make(map[uint64]NPBRun)
+		}
+		out.Runs[c.app][c.mode][c.spin] = runs[i]
+	}
+	return out, nil
 }
 
 // Normalized returns exec(app, mode, spin)/exec(app, Baseline, spin).
@@ -171,22 +200,36 @@ type Figure8Result struct {
 }
 
 // Figure8 records the active-vCPU traces of a 4- and an 8-vCPU VM
-// running bt under vScale.
-func Figure8(duration sim.Time) Figure8Result {
-	out := Figure8Result{Traces: make(map[int][]guest.TracePoint)}
-	for _, vcpus := range []int{4, 8} {
+// running bt under vScale; the two VMs run as parallel jobs.
+func Figure8(opts runner.Options, duration sim.Time) (Figure8Result, error) {
+	sizes := []int{4, 8}
+	traces, err := runner.Run(opts, len(sizes), func(ctx runner.Context) ([]guest.TracePoint, error) {
+		vcpus := sizes[ctx.Index]
 		s := scenario.DefaultSetup()
 		s.Mode = scenario.VScale
 		s.VMVCPUs = vcpus
+		s.Tracer = ctx.Tracer
 		b := scenario.Build(s)
 		b.K.StartTrace(100 * sim.Millisecond)
-		p, _ := npb.ProfileFor("bt")
-		_ = b.RunApp(func(k *guest.Kernel) *workload.App {
+		p, err := npb.ProfileFor("bt")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := b.RunApp(func(k *guest.Kernel) *workload.App {
 			return npb.Launch(k, p, vcpus, guest.SpinBudgetFromCount(300_000))
-		}, duration)
-		out.Traces[vcpus] = b.K.Trace()
+		}, duration); err != nil {
+			return nil, err
+		}
+		return b.K.Trace(), nil
+	})
+	if err != nil {
+		return Figure8Result{}, err
 	}
-	return out
+	out := Figure8Result{Traces: make(map[int][]guest.TracePoint)}
+	for i, vcpus := range sizes {
+		out.Traces[vcpus] = traces[i]
+	}
+	return out, nil
 }
 
 // Render produces the Figure 8 trace table.

@@ -5,8 +5,10 @@ import (
 
 	"vscale/internal/guest"
 	"vscale/internal/report"
+	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
+	"vscale/internal/trace"
 	"vscale/internal/workload"
 	"vscale/internal/workload/parsec"
 )
@@ -29,44 +31,66 @@ type ParsecResult struct {
 	Runs    map[string]map[scenario.Mode]ParsecRun
 }
 
-// ParsecSweep runs apps × modes on a VM with the given vCPU count.
-// freqmine (the OpenMP member) uses the default 300K spin count.
-func ParsecSweep(vcpus int, apps []string, modes []scenario.Mode) ParsecResult {
+// ParsecSweep runs apps × modes on a VM with the given vCPU count,
+// fanning the independent configurations across the runner's worker
+// pool. freqmine (the OpenMP member) uses the default 300K spin count.
+func ParsecSweep(opts runner.Options, vcpus int, apps []string, modes []scenario.Mode) (ParsecResult, error) {
 	if apps == nil {
 		apps = parsec.Names()
 	}
 	if modes == nil {
 		modes = scenario.Modes()
 	}
-	out := ParsecResult{VMVCPUs: vcpus, Apps: apps,
-		Runs: make(map[string]map[scenario.Mode]ParsecRun)}
+	type cell struct {
+		app  string
+		mode scenario.Mode
+	}
+	var cells []cell
 	for _, app := range apps {
-		out.Runs[app] = make(map[scenario.Mode]ParsecRun)
 		for _, m := range modes {
-			out.Runs[app][m] = runParsecOnce(app, m, vcpus, 1)
+			cells = append(cells, cell{app, m})
 		}
 	}
-	return out
+	runs, err := runner.Run(opts, len(cells), func(ctx runner.Context) (ParsecRun, error) {
+		c := cells[ctx.Index]
+		return runParsecOnce(c.app, c.mode, vcpus, 1, ctx.Tracer)
+	})
+	if err != nil {
+		return ParsecResult{}, err
+	}
+	out := ParsecResult{VMVCPUs: vcpus, Apps: apps,
+		Runs: make(map[string]map[scenario.Mode]ParsecRun)}
+	for i, c := range cells {
+		if out.Runs[c.app] == nil {
+			out.Runs[c.app] = make(map[scenario.Mode]ParsecRun)
+		}
+		out.Runs[c.app][c.mode] = runs[i]
+	}
+	return out, nil
 }
 
-func runParsecOnce(app string, mode scenario.Mode, vcpus int, seed uint64) ParsecRun {
+func runParsecOnce(app string, mode scenario.Mode, vcpus int, seed uint64, tr *trace.Tracer) (ParsecRun, error) {
 	s := scenario.DefaultSetup()
 	s.Mode = mode
 	s.VMVCPUs = vcpus
 	s.Seed = seed
+	s.Tracer = tr
 	b := scenario.Build(s)
 	p, err := parsec.ProfileFor(app)
 	if err != nil {
-		panic(err)
+		return ParsecRun{}, err
 	}
-	res := b.RunApp(func(k *guest.Kernel) *workload.App {
+	res, err := b.RunApp(func(k *guest.Kernel) *workload.App {
 		return parsec.Launch(k, p, vcpus, guest.SpinBudgetFromCount(300_000))
 	}, 600*sim.Second)
+	if err != nil {
+		return ParsecRun{}, err
+	}
 	return ParsecRun{
 		App: app, Mode: mode,
 		Exec: res.ExecTime, Wait: res.WaitTime,
 		IPIRate: res.IPIsPerVCPUSec, AvgVCPUs: res.AvgActiveVCPUs,
-	}
+	}, nil
 }
 
 // Normalized returns exec(app, mode)/exec(app, Baseline).

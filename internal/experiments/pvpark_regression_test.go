@@ -13,7 +13,10 @@ import (
 // the CPU never held, crashing the vScale+pvlock PARSEC sweep.
 func TestPVParkSurvivesFreezeIPIs(t *testing.T) {
 	for _, app := range []string{"canneal", "facesim", "dedup"} {
-		r := runParsecOnce(app, scenario.VScalePVLock, 4, 1)
+		r, err := runParsecOnce(app, scenario.VScalePVLock, 4, 1, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if r.Exec == 0 {
 			t.Fatalf("%s did not complete under vScale+pvlock", app)
 		}

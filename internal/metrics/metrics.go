@@ -216,6 +216,17 @@ func (s *Sample) Values() []float64 {
 // Reset discards retained values.
 func (s *Sample) Reset() { s.vs = s.vs[:0]; s.sorted = false }
 
+// Merge appends every value retained by o (which may be nil). It exists
+// so aggregators outside this package — trace.Merge combining per-run
+// tracers — can pool exact samples without access to the raw slice.
+func (s *Sample) Merge(o *Sample) {
+	if o == nil || len(o.vs) == 0 {
+		return
+	}
+	s.vs = append(s.vs, o.vs...)
+	s.sorted = false
+}
+
 // CDFPoint is one point of an empirical CDF.
 type CDFPoint struct {
 	Value    float64

@@ -99,18 +99,14 @@ type Setup struct {
 	Background *workload.Slideshow
 
 	// Tracer, when non-nil, receives trace records from all three layers
-	// (sim engine dispatches, hypervisor scheduling, guest kernel). When
-	// nil, the package-level DefaultTracer (if any) is used. Tracing is
-	// purely observational: enabling it never changes simulation results.
+	// (sim engine dispatches, hypervisor scheduling, guest kernel). It is
+	// the only tracing hook: there is no package-level default, so
+	// concurrent scenario runs (internal/runner) can never share a
+	// collector by accident. Give each run its own Tracer and combine
+	// them afterwards with trace.Merge. Tracing is purely observational:
+	// enabling it never changes simulation results.
 	Tracer *trace.Tracer
 }
-
-// DefaultTracer, when set, is attached to every scenario built without
-// an explicit Setup.Tracer. The experiment CLIs use it to trace runs
-// they do not construct themselves. Runs share the tracer, so exported
-// timelines from different engines overlap; prefer Setup.Tracer when
-// tracing a single run.
-var DefaultTracer *trace.Tracer
 
 // DefaultSetup returns the paper-like configuration: 8 pool pCPUs, a
 // 4-vCPU VM, 2:1 consolidation.
@@ -146,9 +142,6 @@ func Build(s Setup) *Built {
 	}
 	eng := sim.NewEngine(s.Seed)
 	tr := s.Tracer
-	if tr == nil {
-		tr = DefaultTracer
-	}
 	if tr != nil {
 		eng.SetObserver(tr.SimEvent)
 	}
@@ -232,8 +225,12 @@ type AppResult struct {
 }
 
 // RunApp launches an application via launch and runs the simulation
-// until it completes (or deadline passes), returning the metrics.
-func (b *Built) RunApp(launch func(k *guest.Kernel) *workload.App, deadline sim.Time) AppResult {
+// until it completes (or deadline passes), returning the metrics. The
+// error is non-nil only when the engine aborts (event limit exceeded);
+// a deadline overrun is not an error — it is reported via
+// AppResult.TimedOut, mirroring how the paper's timed-out runs are
+// still data points.
+func (b *Built) RunApp(launch func(k *guest.Kernel) *workload.App, deadline sim.Time) (AppResult, error) {
 	startWait := b.VM.TotalWaitTime
 	var startIPIs uint64
 	for i := 0; i < b.K.NCPUs(); i++ {
@@ -244,7 +241,7 @@ func (b *Built) RunApp(launch func(k *guest.Kernel) *workload.App, deadline sim.
 	app := launch(b.K)
 	app.OnDone = func(*workload.App) { b.Eng.Stop() }
 	if err := b.Eng.RunUntil(start + deadline); err != nil {
-		panic(err)
+		return AppResult{}, fmt.Errorf("scenario %q: %w", b.Setup.Mode, err)
 	}
 	end := b.Eng.Now()
 
@@ -265,5 +262,18 @@ func (b *Built) RunApp(launch func(k *guest.Kernel) *workload.App, deadline sim.
 	if dur := end - start; dur > 0 {
 		res.IPIsPerVCPUSec = float64(endIPIs-startIPIs) / float64(b.K.NCPUs()) / sim.Time(dur).Seconds()
 	}
-	return res
+	b.FinishTrace()
+	return res, nil
+}
+
+// FinishTrace copies the engine's event counters into the scenario's
+// tracer so exports show the drop accounting. RunApp calls it on every
+// completion; callers driving Eng.RunUntil directly (the Apache load
+// loop, the motivation experiment) should call it once before
+// exporting. No-op without a tracer; safe to call repeatedly.
+func (b *Built) FinishTrace() {
+	if b.Tracer == nil {
+		return
+	}
+	b.Tracer.SetEngineCounters(b.Eng.Scheduled, b.Eng.Cancelled, b.Eng.Processed)
 }

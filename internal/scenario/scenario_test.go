@@ -19,9 +19,13 @@ func runNPB(t *testing.T, app string, mode Mode, spin uint64, vcpus int) AppResu
 	if err != nil {
 		t.Fatal(err)
 	}
-	return b.RunApp(func(k *guest.Kernel) *workload.App {
+	res, err := b.RunApp(func(k *guest.Kernel) *workload.App {
 		return npb.Launch(k, p, vcpus, guest.SpinBudgetFromCount(spin))
 	}, 600*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestVScaleAcceleratesSpinHeavyNPB(t *testing.T) {

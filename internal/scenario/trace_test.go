@@ -23,9 +23,12 @@ func runTraced(t *testing.T, tr *trace.Tracer) (*Built, AppResult) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res := b.RunApp(func(k *guest.Kernel) *workload.App {
+	res, err := b.RunApp(func(k *guest.Kernel) *workload.App {
 		return npb.Launch(k, p, s.VMVCPUs, guest.SpinBudgetFromCount(300_000))
 	}, 120*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if res.TimedOut {
 		t.Fatal("run timed out")
 	}

@@ -1,0 +1,140 @@
+package trace
+
+import (
+	"fmt"
+)
+
+// Merge combines per-run tracers into one export-only tracer, so a
+// parallel sweep (internal/runner hands every job a private Tracer) can
+// still emit a single combined Chrome trace / schedstats report. Nil
+// parts are skipped. The merged layout:
+//
+//   - Domain ids are remapped onto disjoint ranges, in part order, and
+//     domain names gain a "run<i>/" prefix (i = the part's position
+//     among the non-nil parts) whenever more than one part survives, so
+//     every run gets its own clearly-named track group in Perfetto.
+//   - pCPU ids are offset the same way: run i's pcpu0 is a different
+//     track from run j's pcpu0.
+//   - Ring records are concatenated in part order with the ids above
+//     rewritten; totals and drop counters are summed. The merged ring
+//     is sized to hold every retained record, so the merge itself never
+//     drops.
+//   - Engine counters are summed across the parts that set them.
+//   - In-progress schedstats dwells are closed at each part's own
+//     MaxAt (its last recorded timestamp), then re-anchored at the
+//     merged MaxAt, so Snapshot(m.MaxAt()) adds no spurious tail time.
+//
+// The result is meant for exporting, not for further recording: feeding
+// it new records would interleave with the re-anchored dwell clocks.
+func Merge(parts ...*Tracer) *Tracer {
+	var live []*Tracer
+	for _, p := range parts {
+		if p != nil {
+			live = append(live, p)
+		}
+	}
+	if len(live) == 0 {
+		return nil
+	}
+
+	capacity := 0
+	for _, p := range live {
+		capacity += p.n
+	}
+	if capacity == 0 {
+		capacity = 1
+	}
+	m := New(Config{RingCapacity: capacity})
+
+	var total, dropped uint64
+	for i, p := range live {
+		domOff := len(m.doms)
+		pcpuOff := m.npcpus
+
+		// Topology: carry every domain slot (nil slots included, to keep
+		// id alignment with the remapped ring records).
+		for origID, d := range p.doms {
+			if d == nil {
+				m.doms = append(m.doms, nil)
+				continue
+			}
+			name := d.name
+			if name == "" {
+				name = fmt.Sprintf("dom%d", origID)
+			}
+			if len(live) > 1 {
+				name = fmt.Sprintf("run%d/%s", i, name)
+			}
+			nd := &domAcc{name: name}
+			for _, a := range d.vcpus {
+				na := &vcpuAcc{
+					hvState:    a.hvState,
+					frozen:     a.frozen,
+					dwell:      a.dwell,
+					lhpCount:   a.lhpCount,
+					lhpTotal:   a.lhpTotal,
+					lhpMax:     a.lhpMax,
+					steals:     a.steals,
+					freezes:    a.freezes,
+					unfreezes:  a.unfreezes,
+					futexWaits: a.futexWaits,
+					futexWakes: a.futexWakes,
+				}
+				na.wakeLat.Merge(&a.wakeLat)
+				na.ipiLat.Merge(&a.ipiLat)
+				// Close the in-progress dwell at the part's own end; the
+				// clock is re-anchored at the merged MaxAt below.
+				if tail := p.maxAt - a.since; tail > 0 {
+					na.dwell[na.effective()] += tail
+				}
+				nd.vcpus = append(nd.vcpus, na)
+			}
+			m.doms = append(m.doms, nd)
+		}
+		m.npcpus += p.npcpus
+
+		// Ring: concatenate in part order with ids rewritten. Record
+		// order inside a part is preserved, so the merge is deterministic.
+		for j := 0; j < p.n; j++ {
+			ev := p.buf[(p.start+j)%p.cap]
+			if ev.Dom >= 0 {
+				ev.Dom += int32(domOff)
+			}
+			if ev.PCPU >= 0 {
+				ev.PCPU += int32(pcpuOff)
+			}
+			if ev.Kind == KindMigrate && ev.Arg >= 0 {
+				// Arg carries the source pCPU for steals.
+				ev.Arg += int64(pcpuOff)
+			}
+			m.push(ev)
+		}
+		total += p.total
+		dropped += p.dropped
+
+		if p.haveEngine {
+			m.engScheduled += p.engScheduled
+			m.engCancelled += p.engCancelled
+			m.engFired += p.engFired
+			m.haveEngine = true
+		}
+		if p.maxAt > m.maxAt {
+			m.maxAt = p.maxAt
+		}
+	}
+	// push counted only retained records; report the parts' full history.
+	m.total = total
+	m.dropped = dropped
+
+	// Re-anchor every dwell clock at the merged end so a
+	// Snapshot(m.MaxAt()) closes nothing twice.
+	for _, d := range m.doms {
+		if d == nil {
+			continue
+		}
+		for _, a := range d.vcpus {
+			a.since = m.maxAt
+		}
+	}
+	return m
+}

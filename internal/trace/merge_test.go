@@ -1,0 +1,170 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"vscale/internal/sim"
+)
+
+func ms(n int64) sim.Time { return sim.Time(n) * sim.Millisecond }
+
+// makeRun builds a small per-run tracer as the parallel harness would:
+// 2 pCPUs, one 2-vCPU domain, a couple of state transitions and a steal.
+func makeRun(name string, endMs int64) *Tracer {
+	tr := New(Config{RingCapacity: 32})
+	tr.RegisterPCPUs(2)
+	tr.RegisterDomain(0, name, 2, 0)
+	tr.VCPUState(ms(1), 0, 0, 0, VRunnable)
+	tr.VCPUState(ms(2), 0, 0, 0, VRun)
+	tr.Migrate(ms(3), 0, 1, 0, 1)
+	tr.VCPUState(ms(endMs), 0, 0, 0, VBlocked)
+	tr.SetEngineCounters(10, 1, 9)
+	return tr
+}
+
+// TestMergeRemapsIDs: domain ids, pCPU ids and migrate source-pCPU args
+// land on disjoint per-run ranges, and names gain the run prefix.
+func TestMergeRemapsIDs(t *testing.T) {
+	a := makeRun("vm", 10)
+	b := makeRun("vm", 20)
+	m := Merge(a, b)
+	if m == nil {
+		t.Fatal("Merge returned nil for live parts")
+	}
+
+	if got := len(m.doms); got != 2 {
+		t.Fatalf("merged domains = %d, want 2", got)
+	}
+	if m.doms[0].name != "run0/vm" || m.doms[1].name != "run1/vm" {
+		t.Fatalf("merged names = %q, %q, want run-prefixed", m.doms[0].name, m.doms[1].name)
+	}
+	if m.npcpus != 4 {
+		t.Fatalf("merged npcpus = %d, want 4", m.npcpus)
+	}
+
+	evs := m.Events()
+	if len(evs) != int(a.Total()+b.Total()) {
+		t.Fatalf("merged ring holds %d records, want %d", len(evs), a.Total()+b.Total())
+	}
+	// First half is run 0 untouched, second half run 1 offset.
+	half := len(evs) / 2
+	for i, ev := range evs {
+		wantDom := int32(0)
+		pcpuOff := int32(0)
+		if i >= half {
+			wantDom, pcpuOff = 1, 2
+		}
+		if ev.Dom != wantDom {
+			t.Fatalf("event %d dom = %d, want %d", i, ev.Dom, wantDom)
+		}
+		if ev.Kind == KindMigrate {
+			if ev.PCPU != 1+pcpuOff || ev.Arg != int64(0+pcpuOff) {
+				t.Fatalf("event %d migrate dest/src = %d/%d, want %d/%d",
+					i, ev.PCPU, ev.Arg, 1+pcpuOff, 0+pcpuOff)
+			}
+		}
+	}
+
+	if m.Total() != a.Total()+b.Total() {
+		t.Fatalf("merged total = %d", m.Total())
+	}
+	if m.MaxAt() != ms(20) {
+		t.Fatalf("merged MaxAt = %v, want 20ms", m.MaxAt())
+	}
+
+	snap := m.Snapshot(m.MaxAt())
+	if !snap.HaveEngine || snap.EngScheduled != 20 || snap.EngCancelled != 2 || snap.EngFired != 18 {
+		t.Fatalf("engine counters not summed: %+v", snap)
+	}
+}
+
+// TestMergeDwellClosure: each part's in-progress dwell closes at that
+// part's own end, and Snapshot(m.MaxAt()) adds no spurious tail — run
+// a's vCPU stops accumulating at 10ms even though the merged end is
+// 20ms.
+func TestMergeDwellClosure(t *testing.T) {
+	a := makeRun("vm", 10)
+	b := makeRun("vm", 20)
+	m := Merge(a, b)
+	snap := m.Snapshot(m.MaxAt())
+	if len(snap.VCPUs) != 4 {
+		t.Fatalf("snapshot rows = %d, want 4", len(snap.VCPUs))
+	}
+	var runA, runB *VCPUStat
+	for i := range snap.VCPUs {
+		v := &snap.VCPUs[i]
+		if v.VCPU != 0 {
+			continue
+		}
+		switch v.DomName {
+		case "run0/vm":
+			runA = v
+		case "run1/vm":
+			runB = v
+		}
+	}
+	if runA == nil || runB == nil {
+		t.Fatalf("missing per-run rows: %+v", snap.VCPUs)
+	}
+	// vCPU0 lifecycle: BLOCKED 0-1, RUNNABLE 1-2, RUN 2-end, BLOCKED tail 0.
+	if runA.Total != ms(10) {
+		t.Errorf("run a dwell total = %v, want exactly its own 10ms", runA.Total)
+	}
+	if runB.Total != ms(20) {
+		t.Errorf("run b dwell total = %v, want 20ms", runB.Total)
+	}
+	if runA.Dwell[VRun] != ms(8) || runB.Dwell[VRun] != ms(18) {
+		t.Errorf("RUN dwell = %v / %v, want 8ms / 18ms", runA.Dwell[VRun], runB.Dwell[VRun])
+	}
+	// Wake latency samples survive the merge.
+	if runA.WakeCount != 1 || runB.WakeCount != 1 {
+		t.Errorf("wake counts = %d / %d, want 1 / 1", runA.WakeCount, runB.WakeCount)
+	}
+}
+
+// TestMergeSinglePartKeepsNames: merging one tracer is a plain copy —
+// no run prefix, ids untouched.
+func TestMergeSinglePartKeepsNames(t *testing.T) {
+	m := Merge(nil, makeRun("vm", 10), nil)
+	if m.doms[0].name != "vm" {
+		t.Fatalf("single-part merge renamed the domain to %q", m.doms[0].name)
+	}
+	if m.npcpus != 2 || len(m.Events()) != 4 {
+		t.Fatalf("single-part merge altered topology/ring: npcpus=%d events=%d", m.npcpus, len(m.Events()))
+	}
+}
+
+// TestMergeNilAndEmpty: all-nil input yields nil; empty tracers merge
+// without panicking.
+func TestMergeNilAndEmpty(t *testing.T) {
+	if m := Merge(nil, nil); m != nil {
+		t.Fatal("Merge of nils should be nil")
+	}
+	m := Merge(New(Config{RingCapacity: 4}), New(Config{RingCapacity: 4}))
+	if m == nil || m.Total() != 0 {
+		t.Fatalf("empty merge: %v", m)
+	}
+}
+
+// TestMergeChromeExport: the merged tracer exports valid Chrome JSON
+// with per-run track names.
+func TestMergeChromeExport(t *testing.T) {
+	m := Merge(makeRun("vm", 10), makeRun("vm", 20))
+	var buf bytes.Buffer
+	if err := m.WriteChrome(&buf, m.MaxAt()); err != nil {
+		t.Fatal(err)
+	}
+	var out map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("merged export is not JSON: %v", err)
+	}
+	s := buf.String()
+	for _, want := range []string{"run0/vm", "run1/vm", "run0/vm.vcpu0", "run1/vm.vcpu1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("merged export lacks track %q", want)
+		}
+	}
+}

@@ -22,8 +22,10 @@ package vscale
 import (
 	"vscale/internal/core"
 	"vscale/internal/guest"
+	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
+	"vscale/internal/trace"
 	"vscale/internal/workload"
 )
 
@@ -109,4 +111,57 @@ type App = workload.App
 // spin budget used by the simulated OpenMP barriers.
 func SpinBudgetFromCount(count uint64) Time {
 	return guest.SpinBudgetFromCount(count)
+}
+
+// Tracer records simulator scheduling events for Chrome-trace export and
+// schedstats (see internal/trace). Scenarios record only when a Tracer
+// is set explicitly on the Setup.
+//
+// Migration note: the package-level scenario.DefaultTracer fallback is
+// gone. Code that relied on every scenario sharing one implicit tracer
+// should set Setup.Tracer per run — SweepOptions{Trace: true} does this
+// for sweep runs — and stitch the per-run timelines with MergeTraces.
+type Tracer = trace.Tracer
+
+// SweepOptions configures a RunSweep fan-out: worker count, base seed,
+// per-run tracers and the optional accounting report.
+type SweepOptions = runner.Options
+
+// SweepContext is handed to each sweep job: its submission index, its
+// derived seed and (when enabled) its private tracer.
+type SweepContext = runner.Context
+
+// SweepReport accumulates per-run wall clocks, seeds and tracers of a
+// sweep in submission order, plus aggregate wall/CPU/speedup numbers.
+type SweepReport = runner.Report
+
+// RunSweep fans n independent scenario runs across a bounded worker
+// pool. Results arrive in submission order and are identical for every
+// worker count; each job must build its own engine/scenario from
+// ctx.Seed (or its own fixed seed) and ctx.Tracer. The first error, by
+// submission index, aborts the sweep.
+//
+// Migration note: loops of the form
+//
+//	for i := 0; i < n; i++ { results[i] = runOne(i) }
+//
+// become
+//
+//	results, err := vscale.RunSweep(vscale.SweepOptions{}, n,
+//	    func(ctx vscale.SweepContext) (R, error) { return runOne(ctx) })
+func RunSweep[T any](opts SweepOptions, n int, job func(ctx SweepContext) (T, error)) ([]T, error) {
+	return runner.Run(opts, n, job)
+}
+
+// DeriveSeed derives the seed of run index from a base seed (splitmix64)
+// — stable across worker counts and Go versions.
+func DeriveSeed(base uint64, index int) uint64 {
+	return runner.DeriveSeed(base, index)
+}
+
+// MergeTraces stitches per-run tracers into one export-only timeline:
+// domain and pCPU ids are remapped, track names gain run0/, run1/, ...
+// prefixes, and in-progress dwells are closed at each run's end.
+func MergeTraces(parts ...*Tracer) *Tracer {
+	return trace.Merge(parts...)
 }
