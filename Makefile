@@ -26,6 +26,9 @@ race:
 	go test -race ./...
 
 # Quick experiment pass with run accounting: wall/CPU/speedup per
-# experiment, written to BENCH_experiments.json (schema vscale-bench/v1).
+# experiment, written to BENCH_experiments.json (schema vscale-bench/v1),
+# plus the event-core microbenchmarks recorded as ns/op + allocs/op in
+# BENCH_sim.json (schema vscale-simbench/v1).
 bench:
 	go run ./cmd/vscale-experiments -quick -benchjson BENCH_experiments.json >/dev/null
+	go test -run='^$$' -bench=. -benchmem ./internal/sim/... | go run ./cmd/vscale-simbench -o BENCH_sim.json

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"vscale/internal/experiments"
+	"vscale/internal/profiling"
 	"vscale/internal/report"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
@@ -62,7 +63,21 @@ func main() {
 	schedstats := flag.Bool("schedstats", false, "print aggregate per-vCPU scheduling statistics")
 	tracecap := flag.Int("tracecap", trace.DefaultRingCapacity, "trace ring capacity (events) per run")
 	benchJSON := flag.String("benchjson", "", "write run accounting JSON to this path")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	registry := experiments.Registry()
 	if *list {

@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"vscale/internal/guest"
+	"vscale/internal/profiling"
 	"vscale/internal/report"
 	"vscale/internal/runner"
 	"vscale/internal/scenario"
@@ -57,7 +58,18 @@ func main() {
 	activetrace := flag.Bool("activetrace", false, "print the active-vCPU trace")
 	nobg := flag.Bool("dedicated", false, "no background VMs")
 	maxSecs := flag.Float64("max", 600, "simulation deadline, seconds")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuProfile)
+	fatal(err)
+	defer stopCPU()
+	defer func() {
+		if err := profiling.WriteHeap(*memProfile); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	var mode scenario.Mode
 	switch *modeStr {

@@ -125,7 +125,7 @@ type cpu struct {
 	running bool // vCPU currently holds a pCPU
 
 	// Segment execution state for the current thread.
-	segEv    *sim.Event
+	segEv    sim.EventRef
 	segStart sim.Time
 
 	tick      *sim.Timer
@@ -151,7 +151,7 @@ type cpu struct {
 	// (for the pv threshold and spin-time accounting).
 	kspinSpun sim.Time
 
-	idleBlock *sim.Event
+	idleBlock sim.EventRef
 
 	// needResched marks a pending deferred wakeup-preemption check.
 	needResched bool
@@ -362,9 +362,9 @@ func (k *Kernel) Descheduled(id int) {
 	}
 	c.tick.Stop()
 	k.pauseSegment(c)
-	if c.idleBlock != nil {
+	if c.idleBlock.Pending() {
 		k.eng.Cancel(c.idleBlock)
-		c.idleBlock = nil
+		c.idleBlock = sim.EventRef{}
 	}
 }
 
@@ -405,7 +405,7 @@ func (k *Kernel) startSegment(c *cpu) {
 	if t == nil || !c.running {
 		return
 	}
-	if c.segEv != nil {
+	if c.segEv.Pending() {
 		panic("guest: segment already armed")
 	}
 	c.segStart = k.eng.Now()
@@ -414,7 +414,7 @@ func (k *Kernel) startSegment(c *cpu) {
 		d = 0
 	}
 	c.segEv = k.eng.After(d, "guest/seg", func() {
-		c.segEv = nil
+		c.segEv = sim.EventRef{}
 		t.segRemaining = 0
 		k.segmentDone(c)
 	})
@@ -423,11 +423,11 @@ func (k *Kernel) startSegment(c *cpu) {
 // pauseSegment stops the clock on the current segment, crediting elapsed
 // execution to the thread.
 func (k *Kernel) pauseSegment(c *cpu) {
-	if c.segEv == nil {
+	if !c.segEv.Pending() {
 		return
 	}
 	k.eng.Cancel(c.segEv)
-	c.segEv = nil
+	c.segEv = sim.EventRef{}
 	t := c.current
 	elapsed := k.eng.Now() - c.segStart
 	if t != nil {
@@ -454,7 +454,7 @@ func (k *Kernel) accountSpin(c *cpu, t *Thread, elapsed sim.Time) {
 // stretching the in-flight segment (the interrupted thread resumes
 // later). On an idle CPU it is free (the idle task absorbs it).
 func (k *Kernel) chargeInterrupt(c *cpu, cost sim.Time) {
-	if cost <= 0 || !c.running || c.segEv == nil {
+	if cost <= 0 || !c.running || !c.segEv.Pending() {
 		return
 	}
 	// Account elapsed so far, then restart the segment with the cost
@@ -514,7 +514,7 @@ func (k *Kernel) runCont(c *cpu, t *Thread) {
 		// The continuation may have slept the thread or armed a new
 		// segment. If the thread is still current with nothing armed,
 		// arm whatever segment it set up (possibly zero-length).
-		if c.current == t && c.running && c.segEv == nil && t.state == ThreadRunning {
+		if c.current == t && c.running && !c.segEv.Pending() && t.state == ThreadRunning {
 			k.startSegment(c)
 		}
 		return
@@ -545,14 +545,14 @@ func (k *Kernel) resume(c *cpu) {
 		// Frozen CPU: evacuate everything (Algorithm 2, target side).
 		// Postponed while spinning on a kernel lock; the next dispatch
 		// retries. The reschedule IPI lands here via DeliverEvent.
-		if c.segEv != nil {
+		if c.segEv.Pending() {
 			k.pauseSegment(c)
 		}
 		if k.drainFrozen(c) {
 			return
 		}
 	}
-	if c.segEv != nil {
+	if c.segEv.Pending() {
 		return // already executing
 	}
 	if c.current != nil {
@@ -649,7 +649,7 @@ func (k *Kernel) preemptNow(c *cpu) {
 	if cur.inKernelCritical() || cur.segKind == segKernelSpin {
 		return
 	}
-	if c.segEv == nil {
+	if !c.segEv.Pending() {
 		// Mid-transition (the current thread is between segments inside
 		// kernel machinery); leave it alone.
 		return
@@ -700,11 +700,11 @@ func (k *Kernel) rotate(c *cpu) {
 func (k *Kernel) goIdle(c *cpu) {
 	c.tick.Stop()
 	k.armHWTimer(c)
-	if c.idleBlock != nil {
+	if c.idleBlock.Pending() {
 		return
 	}
 	c.idleBlock = k.eng.After(0, "guest/idle-block", func() {
-		c.idleBlock = nil
+		c.idleBlock = sim.EventRef{}
 		if !c.running {
 			return
 		}

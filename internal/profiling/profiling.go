@@ -1,0 +1,53 @@
+// Package profiling wires the standard runtime/pprof collectors into
+// the command-line tools (-cpuprofile / -memprofile). Profiles are
+// written to files and all diagnostics go to stderr, so experiment
+// stdout stays byte-identical whether or not profiling is on. See
+// docs/observability.md for how to inspect the output.
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins a CPU profile to path and returns the function that
+// stops and closes it. With an empty path it is a no-op.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("cpuprofile: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		if err := f.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "cpuprofile:", err)
+		}
+	}, nil
+}
+
+// WriteHeap dumps a GC-settled heap profile to path. With an empty path
+// it is a no-op.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	defer f.Close()
+	runtime.GC() // settle allocations so the profile reflects live heap
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("memprofile: %w", err)
+	}
+	return nil
+}

@@ -1,65 +1,170 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // EventFunc is the body of a scheduled event. It runs at the event's
 // virtual timestamp with the engine clock already advanced.
 type EventFunc func()
 
-// Event is a handle to a scheduled event. It can be cancelled; cancelled
-// events stay in the heap but are skipped when popped.
+// Event is one pending entry in the engine's priority queue. Events are
+// pooled: once fired or collected after a cancel they are recycled for
+// the next At/After call, so user code never holds a *Event directly —
+// it holds a generation-stamped EventRef instead.
 type Event struct {
 	when      Time
 	seq       uint64 // FIFO tie-break for simultaneous events
-	index     int    // heap index, -1 when popped
+	gen       uint64 // bumped on every recycle; stale EventRefs mismatch
+	index     int    // position in the heap array, -1 when not queued
 	fn        EventFunc
 	cancelled bool
-	fired     bool
 	label     string
 }
 
-// When returns the virtual time the event is scheduled for.
-func (e *Event) When() Time { return e.when }
+// EventRef is a handle to a scheduled event: the event plus the
+// generation it had when scheduled. Because events are pooled, a ref
+// whose generation no longer matches refers to an event that already
+// fired (or was cancelled and collected); Cancel and Reschedule treat
+// such stale refs as safe no-ops. The zero EventRef is valid and never
+// pending.
+type EventRef struct {
+	ev  *Event
+	gen uint64
+}
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.cancelled }
+// live reports whether the ref still addresses its original, uncancelled
+// scheduling.
+func (r EventRef) live() bool {
+	return r.ev != nil && r.ev.gen == r.gen && !r.ev.cancelled
+}
 
-// Fired reports whether the event has executed.
-func (e *Event) Fired() bool { return e.fired }
+// Pending reports whether the event is still queued and will fire.
+func (r EventRef) Pending() bool { return r.live() }
 
-// Label returns the debug label given at scheduling time.
-func (e *Event) Label() string { return e.label }
-
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].when != h[j].when {
-		return h[i].when < h[j].when
+// When returns the virtual time the event is scheduled for, or MaxTime
+// ("never") if the ref is stale, cancelled, or zero.
+func (r EventRef) When() Time {
+	if r.live() {
+		return r.ev.when
 	}
-	return h[i].seq < h[j].seq
+	return MaxTime
 }
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].index = i
-	h[j].index = j
+
+// Label returns the debug label given at scheduling time, or "" if the
+// ref is no longer pending.
+func (r EventRef) Label() string {
+	if r.live() {
+		return r.ev.label
+	}
+	return ""
 }
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*h)
-	*h = append(*h, e)
+
+// heapArity is the fan-out of the pending-event heap. A 4-ary heap does
+// ~half the levels of a binary heap on sift-down (the pop path) and
+// keeps sibling comparisons within one or two cache lines.
+const heapArity = 4
+
+// eventHeap is an inlined, index-tracked 4-ary min-heap over *Event,
+// ordered by (when, seq). It replaces container/heap to avoid interface
+// boxing and indirect method calls on the hottest loop in the simulator.
+type eventHeap struct {
+	a []*Event
 }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) less(x, y *Event) bool {
+	if x.when != y.when {
+		return x.when < y.when
+	}
+	return x.seq < y.seq
+}
+
+func (h *eventHeap) push(ev *Event) {
+	ev.index = len(h.a)
+	h.a = append(h.a, ev)
+	h.up(ev.index)
+}
+
+// up sifts the element at i toward the root, moving parents down into
+// the hole rather than swapping (one index write per level).
+func (h *eventHeap) up(i int) {
+	ev := h.a[i]
+	for i > 0 {
+		p := (i - 1) / heapArity
+		if !h.less(ev, h.a[p]) {
+			break
+		}
+		h.a[i] = h.a[p]
+		h.a[i].index = i
+		i = p
+	}
+	h.a[i] = ev
+	ev.index = i
+}
+
+// down sifts the element at i toward the leaves.
+func (h *eventHeap) down(i int) {
+	n := len(h.a)
+	ev := h.a[i]
+	for {
+		first := heapArity*i + 1
+		if first >= n {
+			break
+		}
+		best := first
+		last := first + heapArity
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if h.less(h.a[c], h.a[best]) {
+				best = c
+			}
+		}
+		if !h.less(h.a[best], ev) {
+			break
+		}
+		h.a[i] = h.a[best]
+		h.a[i].index = i
+		i = best
+	}
+	h.a[i] = ev
+	ev.index = i
+}
+
+// popMin removes and returns the earliest element.
+func (h *eventHeap) popMin() *Event {
+	ev := h.a[0]
+	n := len(h.a) - 1
+	last := h.a[n]
+	h.a[n] = nil
+	h.a = h.a[:n]
+	if n > 0 {
+		h.a[0] = last
+		last.index = 0
+		h.down(0)
+	}
+	ev.index = -1
+	return ev
+}
+
+// fix restores heap order after ev's key changed in place.
+func (h *eventHeap) fix(ev *Event) {
+	h.down(ev.index)
+	h.up(ev.index)
+}
+
+// init heapifies the array in place (Floyd's method), used after
+// compaction rebuilds the backing slice.
+func (h *eventHeap) init() {
+	n := len(h.a)
+	for i, ev := range h.a {
+		ev.index = i
+	}
+	if n < 2 {
+		return
+	}
+	for i := (n - 2) / heapArity; i >= 0; i-- {
+		h.down(i)
+	}
 }
 
 // Observer receives every executed event (virtual timestamp plus the
@@ -68,6 +173,11 @@ func (h *eventHeap) Pop() any {
 // pure with respect to simulation state — they exist for tracing.
 type Observer func(at Time, label string)
 
+// compactMinLen is the smallest heap for which cancelled-entry
+// compaction is worth a rebuild; below it the lazy drain on pop is
+// cheaper.
+const compactMinLen = 32
+
 // Engine is the discrete-event simulation core: a virtual clock and an
 // ordered queue of future events. Engines are not safe for concurrent
 // use; the entire simulation is single-threaded and deterministic.
@@ -75,6 +185,8 @@ type Engine struct {
 	now     Time
 	seq     uint64
 	queue   eventHeap
+	free    []*Event // recycled events, reused by the next At/After
+	nCancel int      // cancelled entries currently in the heap
 	rand    *Rand
 	stopped bool
 	obs     Observer
@@ -82,13 +194,15 @@ type Engine struct {
 	// Processed counts events executed (not cancelled), for tests and
 	// runaway-simulation guards.
 	Processed uint64
-	// Scheduled counts every event ever placed on the heap; together
-	// with Cancelled and Processed (fired) it gives the drop accounting
+	// Scheduled counts every arming ever placed on the heap (an in-place
+	// Reschedule books a new arming); together with Cancelled and
+	// Processed (fired) it gives the drop accounting
 	// Scheduled = Cancelled + Processed + still-pending.
 	Scheduled uint64
-	// Cancelled counts events cancelled before firing. Cancelling an
-	// event that already fired (or was already cancelled) does not
-	// count: those calls are no-ops.
+	// Cancelled counts armings retired before firing, by Cancel or by
+	// Reschedule superseding the previous deadline. Cancelling an event
+	// that already fired (or was already cancelled) does not count:
+	// those calls are no-ops.
 	Cancelled uint64
 	// LastCancelAt is the virtual time of the most recent effective
 	// Cancel (zero when nothing was ever cancelled).
@@ -114,66 +228,171 @@ func (e *Engine) Rand() *Rand { return e.rand }
 // for every executed event, immediately before the event body runs.
 func (e *Engine) SetObserver(obs Observer) { e.obs = obs }
 
+// alloc takes an event from the free list, or heap-allocates when the
+// pool is dry (cold start, or high-water growth of in-flight events).
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+// recycle returns a no-longer-queued event to the pool. The generation
+// bump is what turns every outstanding EventRef to it stale.
+func (e *Engine) recycle(ev *Event) {
+	ev.fn = nil
+	ev.label = ""
+	ev.cancelled = false
+	ev.gen++
+	e.free = append(e.free, ev)
+}
+
 // At schedules fn to run at absolute virtual time when. Scheduling in the
 // past panics. The label is kept for debugging.
-func (e *Engine) At(when Time, label string, fn EventFunc) *Event {
+func (e *Engine) At(when Time, label string, fn EventFunc) EventRef {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: scheduling %q at %v before now %v", label, when, e.now))
 	}
-	ev := &Event{when: when, seq: e.seq, fn: fn, label: label}
+	ev := e.alloc()
+	ev.when = when
+	ev.seq = e.seq
+	ev.fn = fn
+	ev.label = label
 	e.seq++
 	e.Scheduled++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.queue.push(ev)
+	return EventRef{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d nanoseconds from now.
-func (e *Engine) After(d Time, label string, fn EventFunc) *Event {
+func (e *Engine) After(d Time, label string, fn EventFunc) EventRef {
 	checkNonNegative(d)
 	return e.At(e.now+d, label, fn)
 }
 
-// Cancel marks ev as cancelled. It is safe to cancel an event that has
-// already fired or was already cancelled; those calls are no-ops and do
-// not count towards the Cancelled drop accounting.
-func (e *Engine) Cancel(ev *Event) {
-	if ev == nil || ev.cancelled || ev.fired {
+// Cancel retires the arming behind ref. It is safe to cancel a stale or
+// zero ref (the event already fired, was already cancelled, or was never
+// scheduled); those calls are no-ops and do not count towards the
+// Cancelled drop accounting. Cancelled entries stay in the heap and are
+// collected lazily on pop, or eagerly when they exceed half the heap.
+func (e *Engine) Cancel(ref EventRef) {
+	if !ref.live() {
 		return
 	}
-	ev.cancelled = true
+	ref.ev.cancelled = true
 	e.Cancelled++
 	e.LastCancelAt = e.now
+	e.nCancel++
+	e.maybeCompact()
+}
+
+// Reschedule moves a still-pending arming to a new absolute time by
+// sifting the event in place — no cancel-marker is left in the heap and
+// no new entry is pushed, which is what makes steady-state timer rearm
+// allocation-free. It reports false (and does nothing) when ref is
+// stale, cancelled, or zero. ref itself remains valid and now addresses
+// the new deadline.
+//
+// Accounting-wise a reschedule retires the previous arming and books a
+// new one (Cancelled++ and Scheduled++), and the new arming takes a
+// fresh FIFO sequence number — exactly the counters and firing order the
+// equivalent Cancel+After pair would have produced, so the rewrite is
+// observation-equivalent to the old cancel-and-repush timers.
+func (e *Engine) Reschedule(ref EventRef, when Time) bool {
+	if !ref.live() {
+		return false
+	}
+	if when < e.now {
+		panic(fmt.Sprintf("sim: rescheduling %q at %v before now %v", ref.ev.label, when, e.now))
+	}
+	e.Cancelled++
+	e.LastCancelAt = e.now
+	e.Scheduled++
+	ev := ref.ev
+	ev.when = when
+	ev.seq = e.seq
+	e.seq++
+	e.queue.fix(ev)
+	return true
+}
+
+// maybeCompact rebuilds the heap without its cancelled entries once they
+// outnumber the live ones, so pathological cancel patterns cannot bloat
+// memory or slow every subsequent pop. Compaction only reorders the
+// internal array; pop order is a total order on (when, seq), so the
+// firing sequence is unaffected.
+func (e *Engine) maybeCompact() {
+	n := len(e.queue.a)
+	if n < compactMinLen || e.nCancel*2 <= n {
+		return
+	}
+	old := e.queue.a
+	live := old[:0]
+	for _, ev := range old {
+		if ev.cancelled {
+			ev.index = -1
+			e.recycle(ev)
+		} else {
+			live = append(live, ev)
+		}
+	}
+	for i := len(live); i < n; i++ {
+		old[i] = nil
+	}
+	e.queue.a = live
+	e.queue.init()
+	e.nCancel = 0
 }
 
 // Pending returns the number of events still queued, including cancelled
-// events not yet skipped.
-func (e *Engine) Pending() int { return len(e.queue) }
+// events not yet collected.
+func (e *Engine) Pending() int { return len(e.queue.a) }
 
 // Stop makes the current Run/RunUntil call return after the in-flight
 // event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
-// step pops and executes the next non-cancelled event. It reports false
-// when the queue is exhausted.
-func (e *Engine) step() bool {
-	for len(e.queue) > 0 {
-		ev := heap.Pop(&e.queue).(*Event)
-		if ev.cancelled {
-			continue
+// peekLive returns the earliest live event without removing it,
+// collecting cancelled entries off the top as it goes. It is the single
+// drain path shared by step and RunUntil's deadline check.
+func (e *Engine) peekLive() *Event {
+	for len(e.queue.a) > 0 {
+		ev := e.queue.a[0]
+		if !ev.cancelled {
+			return ev
 		}
-		if ev.when < e.now {
-			panic("sim: event heap yielded an event in the past")
-		}
-		e.now = ev.when
-		ev.fired = true
-		e.Processed++
-		if e.obs != nil {
-			e.obs(e.now, ev.label)
-		}
-		ev.fn()
-		return true
+		e.queue.popMin()
+		e.nCancel--
+		e.recycle(ev)
 	}
-	return false
+	return nil
+}
+
+// step pops and executes the next non-cancelled event. It reports false
+// when the queue is exhausted. The event is recycled before its body
+// runs, so the body (and anything it calls) can immediately reuse the
+// slot; its outstanding refs have gone stale by then.
+func (e *Engine) step() bool {
+	ev := e.peekLive()
+	if ev == nil {
+		return false
+	}
+	e.queue.popMin()
+	if ev.when < e.now {
+		panic("sim: event heap yielded an event in the past")
+	}
+	e.now = ev.when
+	e.Processed++
+	fn, label := ev.fn, ev.label
+	e.recycle(ev)
+	if e.obs != nil {
+		e.obs(e.now, label)
+	}
+	fn()
+	return true
 }
 
 // Run executes events until the queue is empty or Stop is called. It
@@ -201,8 +420,7 @@ func (e *Engine) RunUntil(deadline Time) error {
 		if e.Limit != 0 && e.Processed >= e.Limit {
 			return fmt.Errorf("sim: event limit %d exceeded at %v", e.Limit, e.now)
 		}
-		// Peek at the next live event.
-		next := e.peek()
+		next := e.peekLive()
 		if next == nil || next.when > deadline {
 			break
 		}
@@ -210,19 +428,6 @@ func (e *Engine) RunUntil(deadline Time) error {
 	}
 	if !e.stopped && e.now < deadline {
 		e.now = deadline
-	}
-	return nil
-}
-
-// peek returns the next non-cancelled event without executing it,
-// discarding cancelled entries as it goes.
-func (e *Engine) peek() *Event {
-	for len(e.queue) > 0 {
-		ev := e.queue[0]
-		if !ev.cancelled {
-			return ev
-		}
-		heap.Pop(&e.queue)
 	}
 	return nil
 }

@@ -53,9 +53,149 @@ func TestEngineCancel(t *testing.T) {
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
-	// Double-cancel and cancel-nil must be no-ops.
+	// Double-cancel and cancelling the zero ref must be no-ops.
 	e.Cancel(ev)
-	e.Cancel(nil)
+	e.Cancel(EventRef{})
+}
+
+func TestEventRefStaleAfterFire(t *testing.T) {
+	e := NewEngine(1)
+	ev := e.After(Millisecond, "x", func() {})
+	if !ev.Pending() || ev.When() != Millisecond || ev.Label() != "x" {
+		t.Fatalf("pending ref: Pending=%v When=%v Label=%q", ev.Pending(), ev.When(), ev.Label())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ev.Pending() {
+		t.Fatal("fired ref still pending")
+	}
+	if ev.When() != MaxTime || ev.Label() != "" {
+		t.Fatalf("stale ref: When=%v Label=%q", ev.When(), ev.Label())
+	}
+	// A stale ref must not cancel whatever recycled event now occupies
+	// the slot.
+	fired := false
+	e.After(Millisecond, "next", func() { fired = true })
+	e.Cancel(ev)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("stale cancel killed a recycled event")
+	}
+	if e.Cancelled != 0 {
+		t.Fatalf("stale cancels counted: Cancelled = %d", e.Cancelled)
+	}
+}
+
+func TestReschedule(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	ev := e.After(Millisecond, "moved", func() { got = append(got, "moved") })
+	e.After(2*Millisecond, "fixed", func() { got = append(got, "fixed") })
+	// Move the first event past the second; it must keep its handle and
+	// fire in the new order.
+	if !e.Reschedule(ev, 3*Millisecond) {
+		t.Fatal("reschedule of pending event failed")
+	}
+	if !ev.Pending() || ev.When() != 3*Millisecond {
+		t.Fatalf("ref after reschedule: Pending=%v When=%v", ev.Pending(), ev.When())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "fixed" || got[1] != "moved" {
+		t.Fatalf("order = %v, want [fixed moved]", got)
+	}
+	// Stale and cancelled refs refuse to reschedule.
+	if e.Reschedule(ev, 10*Millisecond) {
+		t.Fatal("rescheduled a fired event")
+	}
+	victim := e.After(Millisecond, "v", func() { t.Error("cancelled event fired") })
+	e.Cancel(victim)
+	if e.Reschedule(victim, 2*Millisecond) {
+		t.Fatal("rescheduled a cancelled event")
+	}
+	if e.Reschedule(EventRef{}, 2*Millisecond) {
+		t.Fatal("rescheduled the zero ref")
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRescheduleTieBreak: a reschedule takes a fresh FIFO sequence
+// number, exactly as cancel-and-repush would, so a rescheduled event
+// fires after events already queued for the same instant.
+func TestRescheduleTieBreak(t *testing.T) {
+	e := NewEngine(1)
+	var got []string
+	ev := e.After(Millisecond, "early", func() { got = append(got, "early") })
+	e.After(5*Millisecond, "same", func() { got = append(got, "same") })
+	e.Reschedule(ev, 5*Millisecond)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "same" || got[1] != "early" {
+		t.Fatalf("order = %v, want [same early]", got)
+	}
+}
+
+// TestEventPoolRecycles: the engine reuses event structs, so a long
+// schedule/fire chain must not grow the pool beyond its concurrency
+// high-water mark.
+func TestEventPoolRecycles(t *testing.T) {
+	e := NewEngine(1)
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 1000 {
+			e.After(Microsecond, "tick", tick)
+		}
+	}
+	e.After(0, "start", tick)
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1000 {
+		t.Fatalf("n = %d", n)
+	}
+	if got := len(e.free); got > 2 {
+		t.Fatalf("pool holds %d events after a depth-1 chain, want <= 2", got)
+	}
+}
+
+// TestCompaction: mass-cancelling must shrink the heap eagerly rather
+// than leaving tombstones until pop, while keeping counters and firing
+// intact.
+func TestCompaction(t *testing.T) {
+	e := NewEngine(1)
+	var refs []EventRef
+	fired := 0
+	for i := 0; i < 1000; i++ {
+		refs = append(refs, e.After(Time(i+1)*Millisecond, "e", func() { fired++ }))
+	}
+	// Cancel two of every three: once tombstones exceed half the heap,
+	// compaction must drop them eagerly.
+	for i, r := range refs {
+		if i%3 != 0 {
+			e.Cancel(r)
+		}
+	}
+	if e.Pending() > 500 {
+		t.Fatalf("heap not compacted: %d pending", e.Pending())
+	}
+	if err := e.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 334 {
+		t.Fatalf("fired = %d, want 334", fired)
+	}
+	if e.Scheduled != 1000 || e.Cancelled != 666 || e.Processed != 334 {
+		t.Fatalf("counters = %d/%d/%d", e.Scheduled, e.Cancelled, e.Processed)
+	}
 }
 
 func TestEngineRunUntil(t *testing.T) {

@@ -3,65 +3,66 @@ package sim
 // Timer is a restartable one-shot timer layered over engine events. It is
 // used for the many "program the next deadline" patterns in the
 // hypervisor and guest kernels (slice expiry, tick, accounting period).
+//
+// The timer owns a single callback closure, allocated once at NewTimer,
+// and rearms its pending event in place via Engine.Reschedule, so
+// steady-state Reset traffic performs no allocation.
 type Timer struct {
 	eng   *Engine
-	ev    *Event
+	ev    EventRef
 	label string
 	fn    EventFunc
+	cb    EventFunc // reusable engine callback, built once
 }
 
 // NewTimer creates a stopped timer that runs fn when it fires.
 func NewTimer(eng *Engine, label string, fn EventFunc) *Timer {
-	return &Timer{eng: eng, label: label, fn: fn}
+	t := &Timer{eng: eng, label: label, fn: fn}
+	// By the time cb runs the fired event has been recycled, so t.ev is
+	// already stale (Armed reports false); fn may rearm freely.
+	t.cb = func() { t.fn() }
+	return t
 }
 
-// Reset (re)arms the timer to fire d from now, cancelling any pending
+// Reset (re)arms the timer to fire d from now, superseding any pending
 // expiry.
 func (t *Timer) Reset(d Time) {
-	t.Stop()
-	t.ev = t.eng.After(d, t.label, func() {
-		t.ev = nil
-		t.fn()
-	})
+	checkNonNegative(d)
+	t.ResetAt(t.eng.Now() + d)
 }
 
-// ResetAt (re)arms the timer to fire at absolute time when.
+// ResetAt (re)arms the timer to fire at absolute time when. A pending
+// expiry is moved in place; otherwise a pooled event is scheduled.
 func (t *Timer) ResetAt(when Time) {
-	t.Stop()
-	t.ev = t.eng.At(when, t.label, func() {
-		t.ev = nil
-		t.fn()
-	})
+	if t.eng.Reschedule(t.ev, when) {
+		return
+	}
+	t.ev = t.eng.At(when, t.label, t.cb)
 }
 
 // Stop cancels a pending expiry, if any.
 func (t *Timer) Stop() {
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = EventRef{}
 }
 
 // Armed reports whether the timer has a pending expiry.
-func (t *Timer) Armed() bool { return t.ev != nil }
+func (t *Timer) Armed() bool { return t.ev.Pending() }
 
 // Deadline returns the pending expiry time, or MaxTime if stopped.
-func (t *Timer) Deadline() Time {
-	if t.ev == nil {
-		return MaxTime
-	}
-	return t.ev.When()
-}
+func (t *Timer) Deadline() Time { return t.ev.When() }
 
 // Ticker fires fn every period until stopped. The first firing is one
-// period from Start.
+// period from Start. Like Timer it reuses one callback closure and a
+// pooled event, so steady ticking is allocation-free.
 type Ticker struct {
 	eng     *Engine
-	ev      *Event
+	ev      EventRef
 	label   string
 	period  Time
 	fn      EventFunc
 	stopped bool
+	cb      EventFunc // reusable engine callback, built once
 }
 
 // NewTicker creates a stopped ticker.
@@ -69,35 +70,37 @@ func NewTicker(eng *Engine, label string, period Time, fn EventFunc) *Ticker {
 	if period <= 0 {
 		panic("sim: ticker period must be positive")
 	}
-	return &Ticker{eng: eng, label: label, period: period, fn: fn, stopped: true}
+	t := &Ticker{eng: eng, label: label, period: period, fn: fn, stopped: true}
+	t.cb = func() {
+		t.fn()
+		// fn may have stopped (or restarted) the ticker; only rearm if it
+		// is still running and nothing else armed it.
+		if !t.stopped && !t.ev.Pending() {
+			t.arm()
+		}
+	}
+	return t
 }
 
 // Start arms the ticker. Starting a running ticker re-phases it.
 func (t *Ticker) Start() {
-	t.Stop()
 	t.stopped = false
 	t.arm()
 }
 
 func (t *Ticker) arm() {
-	t.ev = t.eng.After(t.period, t.label, func() {
-		t.ev = nil
-		t.fn()
-		// fn may have stopped (or restarted) the ticker; only rearm if it
-		// is still running and nothing else armed it.
-		if !t.stopped && t.ev == nil {
-			t.arm()
-		}
-	})
+	when := t.eng.Now() + t.period
+	if t.eng.Reschedule(t.ev, when) {
+		return
+	}
+	t.ev = t.eng.At(when, t.label, t.cb)
 }
 
 // Stop cancels future firings.
 func (t *Ticker) Stop() {
 	t.stopped = true
-	if t.ev != nil {
-		t.eng.Cancel(t.ev)
-		t.ev = nil
-	}
+	t.eng.Cancel(t.ev)
+	t.ev = EventRef{}
 }
 
 // Running reports whether the ticker is armed or mid-callback.

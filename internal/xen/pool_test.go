@@ -17,7 +17,7 @@ type fakeGuest struct {
 
 	work      []sim.Time // remaining work; <0 means infinite
 	started   []sim.Time // segment start when running
-	ev        []*sim.Event
+	ev        []sim.EventRef
 	delivered []int // count of DeliverEvent per vcpu
 	onEvent   func(vcpu int, port *Port)
 }
@@ -28,7 +28,7 @@ func newFakeGuest(eng *sim.Engine, pool *Pool, n int) *fakeGuest {
 		pool:      pool,
 		work:      make([]sim.Time, n),
 		started:   make([]sim.Time, n),
-		ev:        make([]*sim.Event, n),
+		ev:        make([]sim.EventRef, n),
 		delivered: make([]int, n),
 	}
 }
@@ -40,16 +40,16 @@ func (g *fakeGuest) Dispatched(v int) {
 	}
 	w := g.work[v]
 	g.ev[v] = g.eng.After(w, "fake/done", func() {
-		g.ev[v] = nil
+		g.ev[v] = sim.EventRef{}
 		g.work[v] = 0
 		g.pool.Block(g.dom.VCPU(v))
 	})
 }
 
 func (g *fakeGuest) Descheduled(v int) {
-	if g.ev[v] != nil {
+	if g.ev[v].Pending() {
 		g.eng.Cancel(g.ev[v])
-		g.ev[v] = nil
+		g.ev[v] = sim.EventRef{}
 		g.work[v] -= g.eng.Now() - g.started[v]
 		if g.work[v] < 0 {
 			g.work[v] = 0
