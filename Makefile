@@ -28,7 +28,10 @@ race:
 # Quick experiment pass with run accounting: wall/CPU/speedup per
 # experiment, written to BENCH_experiments.json (schema vscale-bench/v1),
 # plus the event-core microbenchmarks recorded as ns/op + allocs/op in
-# BENCH_sim.json (schema vscale-simbench/v1).
+# BENCH_sim.json (schema vscale-simbench/v1), plus the cluster fleet
+# experiment on its own in BENCH_cluster.json (its per-epoch host
+# fan-out accounting is the multi-engine scaling signal).
 bench:
 	go run ./cmd/vscale-experiments -quick -benchjson BENCH_experiments.json >/dev/null
+	go run ./cmd/vscale-experiments -experiment cluster -quick -benchjson BENCH_cluster.json >/dev/null
 	go test -run='^$$' -bench=. -benchmem ./internal/sim/... | go run ./cmd/vscale-simbench -o BENCH_sim.json

@@ -6,7 +6,8 @@
 //	vscale-experiments [-run list] [-quick] [-parallel N] [-window seconds]
 //
 // -run selects a comma-separated subset of the registered experiments
-// (see -list); the default runs everything in registry order. -quick
+// (see -list); -experiment is an alias for it; the default runs
+// everything in registry order. -quick
 // shrinks sweeps for a fast smoke pass. -parallel bounds the worker pool
 // each experiment fans its independent simulation runs across; the
 // printed tables are byte-identical for every worker count.
@@ -54,6 +55,7 @@ type benchFile struct {
 
 func main() {
 	runList := flag.String("run", "all", "comma-separated experiments to run (or 'all'; see -list)")
+	expList := flag.String("experiment", "", "alias for -run (merged with it)")
 	list := flag.Bool("list", false, "list the registered experiments and exit")
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	parallel := flag.Int("parallel", 0, "worker pool size per experiment (default GOMAXPROCS)")
@@ -87,8 +89,18 @@ func main() {
 		return
 	}
 
+	// -experiment is an alias for -run; naming either one replaces the
+	// "all" default, and explicit selections from both flags merge.
+	sel := *runList
+	if *expList != "" {
+		if sel == "all" {
+			sel = *expList
+		} else {
+			sel += "," + *expList
+		}
+	}
 	selected := map[string]bool{}
-	for _, s := range strings.Split(*runList, ",") {
+	for _, s := range strings.Split(sel, ",") {
 		name := strings.TrimSpace(s)
 		if name == "" {
 			continue

@@ -11,6 +11,10 @@
 // Workloads: npb:<bt|cg|dc|ep|ft|is|lu|mg|sp|ua>,
 // parsec:<blackscholes|...|x264>, kernel-build, httpd:<rateK>.
 //
+// The httpd workload is driven by an open-loop Poisson generator and
+// additionally reports reply-latency p50/p95/p99 and the fraction of
+// offered requests answered within -slo milliseconds.
+//
 // -runs repeats the scenario with per-run seeds derived from -seed
 // (splitmix64), fanned across -parallel workers; the per-run outputs are
 // printed in run order and are independent of the worker count.
@@ -31,6 +35,7 @@ import (
 	"time"
 
 	"vscale/internal/guest"
+	"vscale/internal/loadgen"
 	"vscale/internal/profiling"
 	"vscale/internal/report"
 	"vscale/internal/runner"
@@ -56,6 +61,7 @@ func main() {
 	schedstats := flag.Bool("schedstats", false, "print per-vCPU scheduling statistics")
 	tracecap := flag.Int("tracecap", trace.DefaultRingCapacity, "trace ring capacity (events)")
 	activetrace := flag.Bool("activetrace", false, "print the active-vCPU trace")
+	sloMs := flag.Float64("slo", 50, "httpd per-request SLO, milliseconds")
 	nobg := flag.Bool("dedicated", false, "no background VMs")
 	maxSecs := flag.Float64("max", 600, "simulation deadline, seconds")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
@@ -165,21 +171,38 @@ func main() {
 			}
 			cfg := httpd.DefaultConfig()
 			link := httpd.NewLink(b.Eng, cfg.LinkBps)
-			srv := httpd.NewServer(b.K, link, cfg)
-			client := httpd.NewClient(srv, sim.NewRand(runSeed+7))
+			srv, err := httpd.NewServer(b.K, link, cfg)
+			if err != nil {
+				return "", err
+			}
+			gen := loadgen.New(b.Eng, srv, sim.NewRand(runSeed+7), loadgen.Config{
+				SLO: sim.FromMillis(*sloMs),
+			})
 			warm := 2 * sim.Second
 			if err := b.Eng.RunUntil(warm); err != nil {
 				return "", err
 			}
 			window := sim.FromSeconds(*maxSecs)
-			client.Run(rateK*1000, window)
+			gen.SetRate(rateK * 1000) // engine parked at warm: load starts now
+			if err := b.Eng.RunUntil(warm + window); err != nil {
+				return "", err
+			}
+			gen.Stop()
 			if err := b.Eng.RunUntil(warm + window + 2*sim.Second); err != nil {
+				return "", err
+			}
+			if err := srv.Err(); err != nil {
 				return "", err
 			}
 			b.FinishTrace()
 			r := srv.Result(rateK*1000, window)
+			st := gen.Stats()
+			h := gen.Hist()
 			fmt.Fprintf(&out, "offered: %.1fK/s  replies: %.2fK/s  conn: %.2fms  resp: %.2fms  errors: %d\n",
 				r.RateRequested/1000, r.ReplyRate/1000, r.AvgConnMs, r.AvgRespMs, r.Errors)
+			fmt.Fprintf(&out, "latency: p50=%.2fms  p95=%.2fms  p99=%.2fms  SLO(%gms)=%.1f%%  (%d offered, %d replies, %d errors)\n",
+				h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99),
+				*sloMs, 100*st.Attainment(), st.Offered, st.Replies, st.Errors)
 		default:
 			return "", fmt.Errorf("unknown workload %q", *wl)
 		}

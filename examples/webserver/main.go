@@ -28,7 +28,10 @@ func main() {
 
 			cfg := httpd.DefaultConfig()
 			link := httpd.NewLink(sc.Eng, cfg.LinkBps)
-			srv := httpd.NewServer(sc.K, link, cfg)
+			srv, err := httpd.NewServer(sc.K, link, cfg)
+			if err != nil {
+				panic(err)
+			}
 			client := httpd.NewClient(srv, sim.NewRand(7))
 
 			warm := 2 * vscale.Second

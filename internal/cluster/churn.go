@@ -1,0 +1,271 @@
+// Package cluster simulates a fleet of independent Xen hosts under VM
+// churn: a seeded lifecycle trace arrives, departs and re-phases VMs; a
+// placement control plane admits each arrival to the host where the
+// paper's Algorithm 1 predicts the most CPU extendability; and every VM
+// serves open-loop httpd load whose per-request latency feeds fleet-wide
+// SLO accounting. Each host owns a private sim.Engine, so hosts fan out
+// across the runner worker pool while the whole fleet stays
+// deterministic for a fixed seed.
+package cluster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vscale/internal/sim"
+)
+
+// EventKind classifies one churn-trace event.
+type EventKind int
+
+// Churn event kinds, in the order they may occur for one VM.
+const (
+	// EventArrive creates a VM (vCPU count + initial request rate).
+	EventArrive EventKind = iota
+	// EventPhase changes a VM's offered request rate (workload phase).
+	EventPhase
+	// EventDepart retires a VM.
+	EventDepart
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EventArrive:
+		return "arrive"
+	case EventPhase:
+		return "phase"
+	case EventDepart:
+		return "depart"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one entry of a churn trace.
+type Event struct {
+	At      sim.Time
+	Kind    EventKind
+	VM      string
+	VCPUs   int     // arrive only
+	RateRPS float64 // arrive and phase
+}
+
+// TraceConfig parameterises GenTrace.
+type TraceConfig struct {
+	// Horizon bounds the trace: no event is emitted at or past it.
+	Horizon sim.Time
+	// InitialVMs arrive staggered shortly after t=0.
+	InitialVMs int
+	// ArrivalEvery is the mean inter-arrival time of later VMs
+	// (exponential); zero disables later arrivals.
+	ArrivalEvery sim.Time
+	// LifetimeMin/Max bound each VM's uniform lifetime. A VM whose
+	// departure would land past the horizon simply lives to the end.
+	LifetimeMin, LifetimeMax sim.Time
+	// PhaseEvery is the mean time between workload-phase changes per VM
+	// (exponential); zero disables phase changes.
+	PhaseEvery sim.Time
+	// VCPUChoices and RateChoices are drawn uniformly per arrival/phase.
+	VCPUChoices []int
+	RateChoices []float64
+}
+
+// DefaultTraceConfig returns a churn mix sized for the cluster
+// experiment: a few initial VMs plus steady arrivals, minute-scale
+// horizon compressed to seconds for simulation.
+func DefaultTraceConfig(horizon sim.Time) TraceConfig {
+	return TraceConfig{
+		Horizon:      horizon,
+		InitialVMs:   4,
+		ArrivalEvery: horizon / 8,
+		LifetimeMin:  horizon / 3,
+		LifetimeMax:  horizon,
+		PhaseEvery:   horizon / 6,
+		VCPUChoices:  []int{2, 4},
+		RateChoices:  []float64{500, 1500, 3000},
+	}
+}
+
+// GenTrace produces a deterministic churn trace from cfg and seed:
+// identical inputs yield identical traces, so every policy of an
+// experiment can be driven by the same VM lifecycle.
+func GenTrace(cfg TraceConfig, seed uint64) []Event {
+	if cfg.Horizon <= 0 {
+		panic("cluster: GenTrace needs a positive horizon")
+	}
+	if len(cfg.VCPUChoices) == 0 || len(cfg.RateChoices) == 0 {
+		panic("cluster: GenTrace needs vCPU and rate choices")
+	}
+	if cfg.LifetimeMax < cfg.LifetimeMin {
+		panic("cluster: LifetimeMax < LifetimeMin")
+	}
+	rand := sim.NewRand(seed)
+	var events []Event
+	seq := 0
+
+	addVM := func(at sim.Time) {
+		name := fmt.Sprintf("vm%d", seq)
+		seq++
+		events = append(events, Event{
+			At:      at,
+			Kind:    EventArrive,
+			VM:      name,
+			VCPUs:   cfg.VCPUChoices[rand.Intn(len(cfg.VCPUChoices))],
+			RateRPS: cfg.RateChoices[rand.Intn(len(cfg.RateChoices))],
+		})
+		life := cfg.LifetimeMax
+		if cfg.LifetimeMax > cfg.LifetimeMin {
+			life = rand.Duration(cfg.LifetimeMin, cfg.LifetimeMax)
+		}
+		depart := at + life
+		if cfg.PhaseEvery > 0 {
+			for pt := at + rand.ExpDuration(cfg.PhaseEvery); pt < depart && pt < cfg.Horizon; pt += rand.ExpDuration(cfg.PhaseEvery) {
+				events = append(events, Event{
+					At:      pt,
+					Kind:    EventPhase,
+					VM:      name,
+					RateRPS: cfg.RateChoices[rand.Intn(len(cfg.RateChoices))],
+				})
+			}
+		}
+		if depart < cfg.Horizon {
+			events = append(events, Event{At: depart, Kind: EventDepart, VM: name})
+		}
+	}
+
+	for i := 0; i < cfg.InitialVMs; i++ {
+		// Staggered boot so initial VMs do not all arrive at one instant.
+		addVM(sim.Time(i+1) * 20 * sim.Millisecond)
+	}
+	if cfg.ArrivalEvery > 0 {
+		for at := rand.ExpDuration(cfg.ArrivalEvery); at < cfg.Horizon; at += rand.ExpDuration(cfg.ArrivalEvery) {
+			addVM(at)
+		}
+	}
+
+	// Stable sort: ties keep generation order, which itself is
+	// deterministic, so the trace is a pure function of (cfg, seed).
+	sort.SliceStable(events, func(i, j int) bool { return events[i].At < events[j].At })
+	return events
+}
+
+// traceHeader identifies the text format of FormatTrace/ParseTrace.
+const traceHeader = "# vscale-churn/v1"
+
+// FormatTrace renders a trace in the vscale-churn/v1 text format:
+//
+//	# vscale-churn/v1
+//	<at_ns> arrive <vm> vcpus=<n> rate=<rps>
+//	<at_ns> phase <vm> rate=<rps>
+//	<at_ns> depart <vm>
+//
+// Timestamps are integral nanoseconds of virtual time (sim.Time raw
+// units), so formatting and parsing round-trip exactly.
+func FormatTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, traceHeader)
+	for _, e := range events {
+		ns := int64(e.At)
+		switch e.Kind {
+		case EventArrive:
+			fmt.Fprintf(bw, "%d arrive %s vcpus=%d rate=%g\n", ns, e.VM, e.VCPUs, e.RateRPS)
+		case EventPhase:
+			fmt.Fprintf(bw, "%d phase %s rate=%g\n", ns, e.VM, e.RateRPS)
+		case EventDepart:
+			fmt.Fprintf(bw, "%d depart %s\n", ns, e.VM)
+		default:
+			return fmt.Errorf("cluster: cannot format event kind %v", e.Kind)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseTrace reads the vscale-churn/v1 text format back into events.
+func ParseTrace(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	lineno := 0
+	var events []Event
+	for sc.Scan() {
+		lineno++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if lineno == 1 {
+			if line != traceHeader {
+				return nil, fmt.Errorf("cluster: line 1: want header %q, got %q", traceHeader, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 {
+			return nil, fmt.Errorf("cluster: line %d: too few fields", lineno)
+		}
+		ns, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: line %d: bad timestamp: %v", lineno, err)
+		}
+		ev := Event{At: sim.Time(ns), VM: fields[2]}
+		kv := func(s, key string) (string, error) {
+			if !strings.HasPrefix(s, key+"=") {
+				return "", fmt.Errorf("cluster: line %d: want %s=..., got %q", lineno, key, s)
+			}
+			return strings.TrimPrefix(s, key+"="), nil
+		}
+		switch fields[1] {
+		case "arrive":
+			ev.Kind = EventArrive
+			if len(fields) != 5 {
+				return nil, fmt.Errorf("cluster: line %d: arrive needs vcpus= and rate=", lineno)
+			}
+			vs, err := kv(fields[3], "vcpus")
+			if err != nil {
+				return nil, err
+			}
+			if ev.VCPUs, err = strconv.Atoi(vs); err != nil {
+				return nil, fmt.Errorf("cluster: line %d: bad vcpus: %v", lineno, err)
+			}
+			rs, err := kv(fields[4], "rate")
+			if err != nil {
+				return nil, err
+			}
+			if ev.RateRPS, err = strconv.ParseFloat(rs, 64); err != nil {
+				return nil, fmt.Errorf("cluster: line %d: bad rate: %v", lineno, err)
+			}
+		case "phase":
+			ev.Kind = EventPhase
+			if len(fields) != 4 {
+				return nil, fmt.Errorf("cluster: line %d: phase needs rate=", lineno)
+			}
+			rs, err := kv(fields[3], "rate")
+			if err != nil {
+				return nil, err
+			}
+			if ev.RateRPS, err = strconv.ParseFloat(rs, 64); err != nil {
+				return nil, fmt.Errorf("cluster: line %d: bad rate: %v", lineno, err)
+			}
+		case "depart":
+			ev.Kind = EventDepart
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("cluster: line %d: depart takes no arguments", lineno)
+			}
+		default:
+			return nil, fmt.Errorf("cluster: line %d: unknown event %q", lineno, fields[1])
+		}
+		events = append(events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if lineno == 0 {
+		return nil, fmt.Errorf("cluster: empty trace (missing %q header)", traceHeader)
+	}
+	return events, nil
+}

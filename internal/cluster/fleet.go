@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"fmt"
+
+	"vscale/internal/core"
+	"vscale/internal/dom0"
+	"vscale/internal/loadgen"
+	"vscale/internal/metrics"
+	"vscale/internal/runner"
+	"vscale/internal/sim"
+	"vscale/internal/trace"
+)
+
+// FleetConfig parameterises one fleet run (one policy over one churn
+// trace).
+type FleetConfig struct {
+	// Hosts is the number of independent hosts.
+	Hosts int
+	// PCPUsPerHost sizes each host's domU pool.
+	PCPUsPerHost int
+	// Policy is the fleet-wide VM scaling policy.
+	Policy Policy
+	// Seed derives every host's engine seed (runner.DeriveSeed per host
+	// index), so fleets with the same seed are reproducible regardless
+	// of worker count.
+	Seed uint64
+	// Horizon is the churn window; the fleet then drains for Drain.
+	Horizon sim.Time
+	// Epoch is the control-plane period: placement decisions and
+	// telemetry snapshots happen at epoch boundaries (default 500 ms).
+	Epoch sim.Time
+	// Drain is how long after the horizon in-flight requests may finish
+	// (default 2 s).
+	Drain sim.Time
+	// SLO is the per-request latency objective.
+	SLO sim.Time
+	// Workers bounds the per-epoch host fan-out (0 = GOMAXPROCS).
+	Workers int
+	// Tracers, when non-nil, holds one tracer per host (index-aligned);
+	// host i's scheduling events are recorded into Tracers[i].
+	Tracers []*trace.Tracer
+	// Report, when non-nil, accumulates the per-epoch host fan-out
+	// accounting (every host-epoch is one runner job).
+	Report *runner.Report
+}
+
+// Placement records where one VM was admitted.
+type Placement struct {
+	VM   string
+	Host int
+}
+
+// FleetResult aggregates one fleet run.
+type FleetResult struct {
+	Policy Policy
+	Hosts  int
+
+	// Placed/Departed/PhaseChanges count processed churn events.
+	Placed, Departed, PhaseChanges int
+	// Placements lists every admission in trace order.
+	Placements []Placement
+
+	// Load holds the summed per-VM load-generator accounting.
+	Load loadgen.Stats
+	// Hist is the merged reply-latency histogram (milliseconds).
+	Hist *metrics.Histogram
+	// Attainment is the fleet-wide SLO attainment over offered requests.
+	Attainment float64
+
+	// Reconfigs counts scaling actions taken by the per-VM daemons.
+	Reconfigs uint64
+	// AvgHostUtil is the mean pCPU busy fraction across hosts.
+	AvgHostUtil float64
+	// CentralSweep is what one end-of-run central monitoring pass over
+	// the whole fleet would cost through dom0 (Figure 4 cost model,
+	// summed over hosts) — the price VCPU-Bal pays per period and
+	// vScale's per-VM channels avoid.
+	CentralSweep sim.Time
+}
+
+// RunFleet drives one fleet through a churn trace. The control plane
+// wakes at every epoch boundary: it routes the upcoming epoch's events
+// to their hosts (arrivals are placed with Algorithm 1 over last-epoch
+// telemetry), fans the hosts' engines across the worker pool until the
+// next boundary, then snapshots per-VM consumption. Aggregation walks
+// hosts and VMs in deterministic order, so the result is identical for
+// any worker count.
+func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
+	if cfg.Hosts <= 0 || cfg.PCPUsPerHost <= 0 {
+		return FleetResult{}, fmt.Errorf("cluster: need positive Hosts and PCPUsPerHost")
+	}
+	if cfg.Horizon <= 0 {
+		return FleetResult{}, fmt.Errorf("cluster: need a positive Horizon")
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = 500 * sim.Millisecond
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 2 * sim.Second
+	}
+	if cfg.Tracers != nil && len(cfg.Tracers) != cfg.Hosts {
+		return FleetResult{}, fmt.Errorf("cluster: %d tracers for %d hosts", len(cfg.Tracers), cfg.Hosts)
+	}
+	for i := 1; i < len(events); i++ {
+		if events[i].At < events[i-1].At {
+			return FleetResult{}, fmt.Errorf("cluster: churn trace not sorted at event %d", i)
+		}
+	}
+
+	hosts := make([]*Host, cfg.Hosts)
+	for i := range hosts {
+		var tr *trace.Tracer
+		if cfg.Tracers != nil {
+			tr = cfg.Tracers[i]
+		}
+		hosts[i] = NewHost(i, HostConfig{
+			PCPUs:  cfg.PCPUsPerHost,
+			Seed:   runner.DeriveSeed(cfg.Seed, i),
+			Policy: cfg.Policy,
+			SLO:    cfg.SLO,
+			Tracer: tr,
+		})
+	}
+
+	res := FleetResult{Policy: cfg.Policy, Hosts: cfg.Hosts}
+	stats := make([][]core.VMStat, cfg.Hosts) // last-epoch telemetry
+	owner := map[string]int{}
+	opts := runner.Options{Workers: cfg.Workers, Report: cfg.Report}
+
+	runEpoch := func(until sim.Time) error {
+		_, err := runner.Run(opts, len(hosts), func(ctx runner.Context) (struct{}, error) {
+			return struct{}{}, hosts[ctx.Index].RunEpoch(until)
+		})
+		return err
+	}
+
+	evIdx := 0
+	for start := sim.Time(0); start < cfg.Horizon; start += cfg.Epoch {
+		end := start + cfg.Epoch
+		if end > cfg.Horizon {
+			end = cfg.Horizon
+		}
+		// Control plane: route this epoch's events. Arrivals are placed
+		// with last-epoch telemetry; same-epoch arrivals see each other
+		// as probes appended to the stats, so a burst spreads out.
+		for evIdx < len(events) && events[evIdx].At < end {
+			ev := events[evIdx]
+			evIdx++
+			if ev.At < start {
+				return res, fmt.Errorf("cluster: event for %s at %v precedes epoch start %v", ev.VM, ev.At, start)
+			}
+			switch ev.Kind {
+			case EventArrive:
+				hIdx := pickHost(hosts, stats, cfg.Epoch, ev.VCPUs)
+				// The VM's seed comes from its arrival index in the trace,
+				// so its RNG streams (and hence the offered load) are the
+				// same wherever it lands and whatever the policy.
+				hosts[hIdx].ScheduleAdd(ev, runner.DeriveSeed(cfg.Seed^0xc2b2ae3d27d4eb4f, res.Placed))
+				owner[ev.VM] = hIdx
+				stats[hIdx] = append(stats[hIdx], probeStat(ev.VCPUs, cfg.PCPUsPerHost, cfg.Epoch))
+				res.Placed++
+				res.Placements = append(res.Placements, Placement{VM: ev.VM, Host: hIdx})
+			case EventPhase:
+				if hIdx, ok := owner[ev.VM]; ok {
+					hosts[hIdx].ScheduleRate(ev)
+					res.PhaseChanges++
+				}
+			case EventDepart:
+				if hIdx, ok := owner[ev.VM]; ok {
+					hosts[hIdx].ScheduleRemove(ev)
+					delete(owner, ev.VM)
+					res.Departed++
+				}
+			default:
+				return res, fmt.Errorf("cluster: unknown event kind %v", ev.Kind)
+			}
+		}
+		if err := runEpoch(end); err != nil {
+			return res, err
+		}
+		for i, h := range hosts {
+			stats[i] = h.Snapshot(end - start)
+		}
+	}
+
+	// Horizon reached: stop all load and drain in-flight requests.
+	for _, h := range hosts {
+		h.StopAll()
+	}
+	if err := runEpoch(cfg.Horizon + cfg.Drain); err != nil {
+		return res, err
+	}
+
+	// Aggregate in host order, then VM admission order — a fixed walk
+	// independent of scheduling interleavings.
+	res.Hist = metrics.NewHistogram(metrics.DefaultLatencyBuckets())
+	var util float64
+	vmsPerHost := make([]int, len(hosts))
+	for i, h := range hosts {
+		util += h.Util()
+		vmsPerHost[i] = len(h.order)
+		for _, name := range h.order {
+			vm := h.vms[name]
+			st := vm.gen.Stats()
+			res.Load.Offered += st.Offered
+			res.Load.Done += st.Done
+			res.Load.Replies += st.Replies
+			res.Load.Errors += st.Errors
+			res.Load.SLOOk += st.SLOOk
+			res.Load.SLOTotal += st.SLOTotal
+			if err := res.Hist.Merge(vm.gen.Hist()); err != nil {
+				return res, err
+			}
+			_, decisions := vm.k.DaemonStats()
+			res.Reconfigs += decisions
+		}
+	}
+	res.Attainment = res.Load.Attainment()
+	res.AvgHostUtil = util / float64(len(hosts))
+
+	// Price a central VCPU-Bal-style monitoring pass over this fleet,
+	// using a seed-stable dom0 sampler so the figure does not depend on
+	// per-host RNG positions.
+	d0 := dom0.New(dom0.DefaultConfig(), sim.NewRand(cfg.Seed^0x2545f491))
+	for _, lat := range d0.FleetSweep(vmsPerHost, dom0.Idle) {
+		res.CentralSweep += lat
+	}
+	return res, nil
+}

@@ -1,0 +1,318 @@
+package cluster
+
+import (
+	"fmt"
+
+	"vscale/internal/core"
+	"vscale/internal/costmodel"
+	"vscale/internal/dom0"
+	"vscale/internal/guest"
+	"vscale/internal/loadgen"
+	"vscale/internal/scenario"
+	"vscale/internal/sim"
+	"vscale/internal/trace"
+	"vscale/internal/workload/httpd"
+	"vscale/internal/xen"
+)
+
+// Policy selects how each VM of the fleet resizes itself.
+type Policy int
+
+// Fleet scaling policies, in the order the cluster experiment reports
+// them.
+const (
+	// PolicyStatic never resizes: every VM keeps all its vCPUs online
+	// (unmodified Xen/Linux).
+	PolicyStatic Policy = iota
+	// PolicyHotplug resizes through the dom0 toolstack: each
+	// reconfiguration pays a dom0 monitoring sweep over the host's VMs,
+	// a XenStore write and the guest CPU-hotplug latency (VCPU-Bal).
+	PolicyHotplug
+	// PolicyVScale resizes through the vScale channel and balancer
+	// (the paper's system).
+	PolicyVScale
+)
+
+func (p Policy) String() string {
+	switch p {
+	case PolicyStatic:
+		return "static"
+	case PolicyHotplug:
+		return "hotplug"
+	case PolicyVScale:
+		return "vscale"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// HostConfig parameterises one host of the fleet.
+type HostConfig struct {
+	// PCPUs is the size of the host's domU CPU pool.
+	PCPUs int
+	// Seed drives the host's engine and everything derived from it.
+	Seed uint64
+	// Policy is the VM scaling policy (shared fleet-wide).
+	Policy Policy
+	// SLO is the per-request latency objective for every VM's load.
+	SLO sim.Time
+	// Tracer, when non-nil, records the host's scheduling events.
+	Tracer *trace.Tracer
+}
+
+// hostVM is one VM resident on a host.
+type hostVM struct {
+	name  string
+	vcpus int
+	dom   *xen.Domain
+	k     *guest.Kernel
+	srv   *httpd.Server
+	gen   *loadgen.Generator
+
+	// lastConsumed checkpoints dom.TotalRunTime at the last snapshot so
+	// per-epoch consumption is a simple delta.
+	lastConsumed sim.Time
+	retired      bool
+}
+
+// Host is one Xen host of the fleet: a private engine, a domU pool, a
+// dom0 cost model, and the VMs currently placed on it. All mutating
+// calls must come either from the host's own engine callbacks or from
+// the control plane between epochs (when the engine is parked at an
+// epoch boundary); Hosts are not safe for concurrent use — the fleet
+// runs at most one RunEpoch per host at a time.
+type Host struct {
+	id      int
+	cfg     HostConfig
+	eng     *sim.Engine
+	pool    *xen.Pool
+	d0      *dom0.Dom0
+	hotplug costmodel.HotplugModel
+
+	vms   map[string]*hostVM
+	order []string // admission order, for deterministic iteration
+
+	// err records the first asynchronous fault raised inside engine
+	// callbacks (RunEpoch returns it).
+	err error
+}
+
+// NewHost builds an idle host.
+func NewHost(id int, cfg HostConfig) *Host {
+	if cfg.PCPUs <= 0 {
+		panic("cluster: host needs at least one pCPU")
+	}
+	eng := sim.NewEngine(cfg.Seed)
+	if cfg.Tracer != nil {
+		eng.SetObserver(cfg.Tracer.SimEvent)
+	}
+	xcfg := xen.DefaultConfig(cfg.PCPUs)
+	// Hotplug needs the extendability channel too: VCPU-Bal reads the
+	// same utilisation signal, it only reconfigures through dom0.
+	xcfg.VScale = cfg.Policy != PolicyStatic
+	pool := xen.NewPool(eng, xcfg)
+	pool.SetTracer(cfg.Tracer)
+	model, ok := costmodel.HotplugModelFor("v-3.14.15")
+	if !ok {
+		panic("cluster: hotplug model v-3.14.15 missing")
+	}
+	h := &Host{
+		id:      id,
+		cfg:     cfg,
+		eng:     eng,
+		pool:    pool,
+		d0:      dom0.New(dom0.DefaultConfig(), sim.NewRand(cfg.Seed^0x5bd1e995)),
+		hotplug: model,
+		vms:     map[string]*hostVM{},
+	}
+	pool.Start()
+	return h
+}
+
+// Engine exposes the host's private engine (tests and the fleet loop).
+func (h *Host) Engine() *sim.Engine { return h.eng }
+
+// ActiveVMs returns the number of non-retired VMs.
+func (h *Host) ActiveVMs() int {
+	n := 0
+	for _, name := range h.order {
+		if !h.vms[name].retired {
+			n++
+		}
+	}
+	return n
+}
+
+// CommittedVCPUs returns the vCPUs provisioned across non-retired VMs
+// (the placement tie-breaker).
+func (h *Host) CommittedVCPUs() int {
+	n := 0
+	for _, name := range h.order {
+		if vm := h.vms[name]; !vm.retired {
+			n += vm.vcpus
+		}
+	}
+	return n
+}
+
+// ScheduleAdd schedules a VM arrival at ev.At on the host's engine. The
+// placement decision was already made by the control plane; the VM
+// boots at its exact trace time. seed roots the VM's private RNG
+// streams — the fleet derives it from the VM's position in the churn
+// trace, not from the host, so the offered load is a pure function of
+// the trace however placement turns out.
+func (h *Host) ScheduleAdd(ev Event, seed uint64) {
+	h.eng.At(ev.At, "cluster/arrive", func() {
+		if err := h.addVM(ev.VM, ev.VCPUs, ev.RateRPS, seed); err != nil {
+			h.fail(err)
+		}
+	})
+}
+
+// ScheduleRate schedules a workload-phase change at ev.At.
+func (h *Host) ScheduleRate(ev Event) {
+	h.eng.At(ev.At, "cluster/phase", func() {
+		if vm, ok := h.vms[ev.VM]; ok && !vm.retired {
+			vm.gen.SetRate(ev.RateRPS)
+		}
+	})
+}
+
+// ScheduleRemove schedules a VM departure at ev.At.
+func (h *Host) ScheduleRemove(ev Event) {
+	h.eng.At(ev.At, "cluster/depart", func() { h.removeVM(ev.VM) })
+}
+
+// addVM boots a VM at the current engine time: a domain weighted per
+// vCPU, a guest kernel running the policy's scaling daemon, an httpd
+// server and its open-loop load generator.
+func (h *Host) addVM(name string, vcpus int, rate float64, seed uint64) error {
+	if _, dup := h.vms[name]; dup {
+		return fmt.Errorf("cluster: host %d: duplicate VM %q", h.id, name)
+	}
+	if vcpus <= 0 {
+		return fmt.Errorf("cluster: host %d: VM %q with %d vCPUs", h.id, name, vcpus)
+	}
+	dom := h.pool.AddDomain(name, scenario.WeightPerVCPU*float64(vcpus), vcpus, nil)
+
+	gcfg := guest.DefaultConfig()
+	gcfg.Seed = seed
+	gcfg.VScale.Enabled = h.cfg.Policy != PolicyStatic
+	if h.cfg.Policy == PolicyHotplug {
+		// The dom0 reconfiguration path: each resize first re-reads the
+		// stats of every VM on this host through libxl (the per-host
+		// monitoring sweep), then pays the XenStore write and the guest
+		// hotplug operation. More VMs on the host → slower scaling.
+		gcfg.VScale.ReconfigDelay = func(r *sim.Rand) sim.Time {
+			sweep := h.d0.ReadVMStats(h.ActiveVMs(), dom0.Idle)
+			return sweep + costmodel.XenStoreWrite + h.hotplug.DrawDown(r)
+		}
+	}
+	k := guest.NewKernel(dom, gcfg)
+
+	hcfg := httpd.DefaultConfig()
+	// Keep worker pools proportional to VM size so a 2-vCPU VM does not
+	// carry a 32-thread pool.
+	hcfg.Workers = 8 * vcpus
+	link := httpd.NewLink(h.eng, hcfg.LinkBps)
+	srv, err := httpd.NewServer(k, link, hcfg)
+	if err != nil {
+		return err
+	}
+	gen := loadgen.New(h.eng, srv, sim.NewRand(gcfg.Seed^0x9e3779b9), loadgen.Config{
+		RateRPS: rate,
+		SLO:     h.cfg.SLO,
+	})
+
+	vm := &hostVM{name: name, vcpus: vcpus, dom: dom, k: k, srv: srv, gen: gen}
+	h.vms[name] = vm
+	h.order = append(h.order, name)
+
+	k.Boot()
+	gen.Start()
+	return nil
+}
+
+// removeVM retires a VM: its load stops, its scaling daemon halts, and
+// its accounting is frozen out of future placement stats. The domain
+// object stays in the pool (idle) — the simulation has no domain
+// destruction, and an idle domain consumes no CPU.
+func (h *Host) removeVM(name string) {
+	vm, ok := h.vms[name]
+	if !ok || vm.retired {
+		return
+	}
+	vm.gen.Stop()
+	vm.k.StopDaemon()
+	vm.retired = true
+}
+
+// StopAll retires every VM (end of horizon: drain in-flight requests).
+func (h *Host) StopAll() {
+	for _, name := range h.order {
+		h.removeVM(name)
+	}
+}
+
+// fail records the first asynchronous error.
+func (h *Host) fail(err error) {
+	if h.err == nil {
+		h.err = err
+	}
+}
+
+// RunEpoch advances the host's engine to exactly the given deadline and
+// reports any fault raised by callbacks (or servers) meanwhile. The
+// fleet fans these calls across its worker pool — each host's epoch is
+// an independent, single-threaded simulation step.
+func (h *Host) RunEpoch(until sim.Time) error {
+	if err := h.eng.RunUntil(until); err != nil {
+		return fmt.Errorf("cluster: host %d: %w", h.id, err)
+	}
+	if h.err != nil {
+		return h.err
+	}
+	for _, name := range h.order {
+		if err := h.vms[name].srv.Err(); err != nil {
+			return fmt.Errorf("cluster: host %d: VM %s: %w", h.id, name, err)
+		}
+	}
+	return nil
+}
+
+// Snapshot syncs the scheduler's accounting and returns per-VM stats
+// for the elapsed epoch, in admission order: the telemetry the control
+// plane feeds to Algorithm 1 when probing placements. Retired VMs are
+// excluded but their checkpoints stay coherent.
+func (h *Host) Snapshot(epoch sim.Time) []core.VMStat {
+	h.pool.SyncAccounting()
+	stats := make([]core.VMStat, 0, len(h.order))
+	for _, name := range h.order {
+		vm := h.vms[name]
+		consumed := vm.dom.TotalRunTime - vm.lastConsumed
+		vm.lastConsumed = vm.dom.TotalRunTime
+		if vm.retired {
+			continue
+		}
+		stats = append(stats, core.VMStat{
+			ID:               name,
+			Weight:           vm.dom.Weight,
+			Consumption:      consumed,
+			ReservationPCPUs: vm.dom.ReservationPCPUs,
+			CapPCPUs:         vm.dom.CapPCPUs,
+			MaxVCPUs:         vm.vcpus,
+			UP:               vm.vcpus == 1,
+		})
+	}
+	return stats
+}
+
+// Util returns the host's pCPU busy fraction up to now.
+func (h *Host) Util() float64 {
+	now := h.eng.Now()
+	if now == 0 {
+		return 0
+	}
+	total := float64(now) * float64(h.cfg.PCPUs)
+	return 1 - float64(h.pool.Idle())/total
+}

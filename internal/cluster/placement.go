@@ -1,0 +1,50 @@
+package cluster
+
+import (
+	"vscale/internal/core"
+	"vscale/internal/scenario"
+	"vscale/internal/sim"
+)
+
+// probeStat builds the hypothetical VMStat Algorithm 1 is probed with
+// when placing a new VM: weighted per vCPU like every real domain, and
+// assumed to compete at full throttle (consumption = the whole period
+// on every pCPU), which keeps admission conservative — a releaser
+// assumption would make every host look equally attractive.
+func probeStat(vcpus, pcpus int, epoch sim.Time) core.VMStat {
+	return core.VMStat{
+		ID:          "!probe",
+		Weight:      scenario.WeightPerVCPU * float64(vcpus),
+		Consumption: sim.Time(int64(epoch) * int64(pcpus)),
+		MaxVCPUs:    vcpus,
+		UP:          vcpus == 1,
+	}
+}
+
+// pickHost runs the paper's Algorithm 1 once per host with the new VM
+// appended as a full-throttle competitor to the host's last-epoch
+// telemetry, and returns the index of the host whose probe gets the
+// most CPU extendability — i.e. where the fair-share math says the
+// newcomer (and, symmetrically, the incumbents) will be squeezed
+// least. Ties break toward fewer committed vCPUs, then the lower host
+// index, so placement is deterministic.
+func pickHost(hosts []*Host, stats [][]core.VMStat, epoch sim.Time, vcpus int) int {
+	best := 0
+	bestExtend := sim.Time(-1)
+	for i, h := range hosts {
+		cand := make([]core.VMStat, 0, len(stats[i])+1)
+		cand = append(cand, stats[i]...)
+		cand = append(cand, probeStat(vcpus, h.cfg.PCPUs, epoch))
+		res := core.ComputeExtendability(cand, h.cfg.PCPUs, epoch)
+		extend := res[len(res)-1].Extend
+		switch {
+		case extend > bestExtend:
+			best, bestExtend = i, extend
+		case extend == bestExtend:
+			if h.CommittedVCPUs() < hosts[best].CommittedVCPUs() {
+				best = i
+			}
+		}
+	}
+	return best
+}

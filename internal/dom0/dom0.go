@@ -86,9 +86,20 @@ func New(cfg Config, rand *sim.Rand) *Dom0 {
 }
 
 // ReadVMStats returns the latency of one monitoring sweep over nVMs
-// guests under the given background workload: per-VM libxl reads plus
-// queueing delays behind I/O forwarding. This is the operation VCPU-Bal
-// performs centrally, growing linearly with VM count.
+// guests under the given background workload. This is the operation
+// VCPU-Bal performs centrally, growing linearly with VM count.
+//
+// The cost model is fitted to the paper's Figure 4 as:
+//
+//	T(n) = Σ_{i=1..n} [ 480 µs · (1 ± 0.1 uniform) + Q_i(w) ]
+//
+// where 480 µs (costmodel.LibxlPerVMRead) is the idle per-VM libxl read
+// and Q_i(w) is the queueing delay behind dom0's I/O forwarding: zero
+// when idle; with probability 0.35 (disk I/O) or 0.55 (network I/O) a
+// log-normal delay with median 160 µs (σ=0.9) or 320 µs (σ=1.1)
+// respectively. That reproduces Figure 4's linear growth — an idle
+// 50-VM sweep averages ~24 ms — and its inflation and variance under
+// I/O load, with network I/O the heaviest (≈30 ms maxima at 50 VMs).
 func (d *Dom0) ReadVMStats(nVMs int, w Workload) sim.Time {
 	if nVMs <= 0 {
 		return 0
@@ -122,6 +133,23 @@ func (d *Dom0) queueDelay(w Workload) sim.Time {
 		return 0
 	}
 	return sim.FromMicros(mean * d.rand.LogNormal(0, sigma))
+}
+
+// FleetSweep extends the Figure 4 cost model to the multi-host case: a
+// central VCPU-Bal-style monitor must sweep every host's dom0 each
+// period, and each host's sweep pays that host's own per-VM read costs
+// and queueing delays. The returned slice holds one sweep latency per
+// host (vmsPerHost[h] VMs under workload w); hosts with no VMs cost
+// zero. The monitoring period must cover max (parallel monitors, one
+// per host) or sum (one sequential monitor) of the entries — either
+// way the fleet cost grows with total VM count, which is the
+// scalability argument for vScale's per-host, per-VM channels.
+func (d *Dom0) FleetSweep(vmsPerHost []int, w Workload) []sim.Time {
+	out := make([]sim.Time, len(vmsPerHost))
+	for h, n := range vmsPerHost {
+		out[h] = d.ReadVMStats(n, w)
+	}
+	return out
 }
 
 // HotplugVCPU returns the latency of the dom0-driven vCPU reconfiguration

@@ -90,6 +90,34 @@ func TestHotplugPathLatency(t *testing.T) {
 	}
 }
 
+func TestFleetSweepPerHostCosts(t *testing.T) {
+	d := New(DefaultConfig(), sim.NewRand(6))
+	const reps = 200
+	hosts := []int{0, 1, 10, 50}
+	sums := make([]sim.Time, len(hosts))
+	for r := 0; r < reps; r++ {
+		lats := d.FleetSweep(hosts, Idle)
+		if len(lats) != len(hosts) {
+			t.Fatalf("FleetSweep returned %d entries for %d hosts", len(lats), len(hosts))
+		}
+		for h, lat := range lats {
+			sums[h] += lat
+		}
+	}
+	if sums[0] != 0 {
+		t.Fatal("empty host must cost nothing")
+	}
+	// Each host pays its own linear sweep: ~480µs per VM when idle.
+	a1 := sums[1] / reps
+	a50 := sums[3] / reps
+	if a1 < 400*sim.Microsecond || a1 > 560*sim.Microsecond {
+		t.Fatalf("1-VM host sweep = %v, want ~480µs", a1)
+	}
+	if r := float64(a50) / float64(a1); r < 42 || r > 58 {
+		t.Fatalf("50-VM host not linear vs 1-VM host: ratio %.1f", r)
+	}
+}
+
 func TestDegenerateInputs(t *testing.T) {
 	d := New(DefaultConfig(), sim.NewRand(5))
 	if d.ReadVMStats(0, NetworkIO) != 0 {

@@ -76,7 +76,10 @@ func apacheOnce(mode scenario.Mode, rateK float64, window sim.Time, tr *trace.Tr
 
 	cfg := httpd.DefaultConfig()
 	link := httpd.NewLink(b.Eng, cfg.LinkBps)
-	srv := httpd.NewServer(b.K, link, cfg)
+	srv, err := httpd.NewServer(b.K, link, cfg)
+	if err != nil {
+		return ApachePoint{}, err
+	}
 	client := httpd.NewClient(srv, sim.NewRand(7))
 
 	// Warm up 2 s, then measure for the window plus drain time.

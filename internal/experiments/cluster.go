@@ -1,0 +1,135 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"vscale/internal/cluster"
+	"vscale/internal/report"
+	"vscale/internal/runner"
+	"vscale/internal/sim"
+	"vscale/internal/trace"
+)
+
+// ClusterPolicies is the reporting order of the cluster experiment:
+// the no-scaling baseline first, then the dom0 hotplug path, then
+// vScale.
+var ClusterPolicies = []cluster.Policy{cluster.PolicyStatic, cluster.PolicyHotplug, cluster.PolicyVScale}
+
+// ClusterResult is the cluster experiment's output: one fleet run per
+// (host count, policy), every policy of a host count driven by the
+// same churn trace.
+type ClusterResult struct {
+	HostCounts   []int
+	PCPUsPerHost int
+	Horizon      sim.Time
+	SLO          sim.Time
+	// Fleets maps host count → one FleetResult per ClusterPolicies entry.
+	Fleets map[int][]cluster.FleetResult
+}
+
+// Cluster runs the multi-host churn experiment: for each host count, a
+// churn trace is generated once (seeded from opts.BaseSeed and the
+// host count) and replayed under every scaling policy, so the policies
+// compete on identical VM lifecycles and the tail-latency differences
+// are attributable to scaling alone. Fleets run one after another;
+// each fleet fans its hosts across opts.Workers.
+func Cluster(opts runner.Options, hostCounts []int, pcpus int, horizon, slo sim.Time) (ClusterResult, error) {
+	if len(hostCounts) == 0 {
+		return ClusterResult{}, fmt.Errorf("cluster: no host counts")
+	}
+	out := ClusterResult{
+		HostCounts:   hostCounts,
+		PCPUsPerHost: pcpus,
+		Horizon:      horizon,
+		SLO:          slo,
+		Fleets:       map[int][]cluster.FleetResult{},
+	}
+	for _, hc := range hostCounts {
+		// Churn scaled to the fleet: more hosts host more VMs. Rates are
+		// chosen so the fleet runs hot enough that scaling decisions move
+		// the latency tail.
+		tcfg := cluster.DefaultTraceConfig(horizon)
+		tcfg.InitialVMs = 2 * hc
+		tcfg.ArrivalEvery = horizon / sim.Time(4*hc)
+		tcfg.RateChoices = []float64{1000, 3000, 6000}
+		traceSeed := runner.DeriveSeed(opts.BaseSeed, hc)
+		events := cluster.GenTrace(tcfg, traceSeed)
+
+		for _, policy := range ClusterPolicies {
+			fcfg := cluster.FleetConfig{
+				Hosts:        hc,
+				PCPUsPerHost: pcpus,
+				Policy:       policy,
+				Seed:         traceSeed,
+				Horizon:      horizon,
+				SLO:          slo,
+				Workers:      opts.Workers,
+				Report:       opts.Report,
+			}
+			if opts.Trace {
+				fcfg.Tracers = make([]*trace.Tracer, hc)
+				for i := range fcfg.Tracers {
+					fcfg.Tracers[i] = trace.New(trace.Config{RingCapacity: opts.TraceCapacity})
+				}
+			}
+			res, err := cluster.RunFleet(fcfg, events)
+			if err != nil {
+				return out, fmt.Errorf("cluster: %d hosts, %v: %w", hc, policy, err)
+			}
+			out.Fleets[hc] = append(out.Fleets[hc], res)
+			if opts.Trace && opts.Report != nil {
+				// Pre-merge each fleet's host timelines under
+				// policy-and-host labels, and hand the combined tracer to
+				// the report like any other run's.
+				labels := make([]string, hc)
+				for i := range labels {
+					labels[i] = fmt.Sprintf("%dh-%v-host%d", hc, policy, i)
+				}
+				opts.Report.Tracers = append(opts.Report.Tracers,
+					trace.MergeLabeled(labels, fcfg.Tracers...))
+			}
+		}
+	}
+	return out, nil
+}
+
+// Render produces one table per host count plus the central-monitoring
+// footnote.
+func (r ClusterResult) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d pCPUs/host, %v churn horizon, SLO: reply within %v\n",
+		r.PCPUsPerHost, r.Horizon, r.SLO)
+	sb.WriteString("p50/p95/p99 are reply latencies in ms; SLO% counts requests answered\n")
+	sb.WriteString("within the SLO over all offered requests (in-flight and dropped count\n")
+	sb.WriteString("as misses); reconfigs are per-VM scaling actions.\n")
+	for _, hc := range r.HostCounts {
+		fleets := r.Fleets[hc]
+		tbl := report.NewTable(fmt.Sprintf("Cluster: %d host(s)", hc),
+			"policy", "VMs", "offered", "replies", "p50", "p95", "p99", "SLO%", "errors", "reconfigs", "util%")
+		for _, f := range fleets {
+			tbl.AddRow(
+				f.Policy.String(),
+				fmt.Sprintf("%d", f.Placed),
+				fmt.Sprintf("%d", f.Load.Offered),
+				fmt.Sprintf("%d", f.Load.Replies),
+				fmt.Sprintf("%.2f", f.Hist.Quantile(0.5)),
+				fmt.Sprintf("%.2f", f.Hist.Quantile(0.95)),
+				fmt.Sprintf("%.2f", f.Hist.Quantile(0.99)),
+				fmt.Sprintf("%.1f", 100*f.Attainment),
+				fmt.Sprintf("%d", f.Load.Errors),
+				fmt.Sprintf("%d", f.Reconfigs),
+				fmt.Sprintf("%.1f", 100*f.AvgHostUtil),
+			)
+		}
+		sb.WriteString("\n")
+		sb.WriteString(tbl.String())
+		if len(fleets) > 0 {
+			// The same fleet shape under every policy: quote the central
+			// sweep once per host count.
+			fmt.Fprintf(&sb, "central dom0 monitoring pass over this fleet: %v per period (Figure 4 model)\n",
+				fleets[len(fleets)-1].CentralSweep)
+		}
+	}
+	return sb.String()
+}

@@ -346,6 +346,53 @@ func TestExtensionAdaptiveTeam(t *testing.T) {
 	}
 }
 
+func TestClusterShape(t *testing.T) {
+	r, err := Cluster(runner.Options{BaseSeed: 3}, []int{2}, 4, 4*sim.Second, 50*sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleets := r.Fleets[2]
+	if len(fleets) != len(ClusterPolicies) {
+		t.Fatalf("ran %d fleets, want one per policy", len(fleets))
+	}
+	for i, f := range fleets {
+		if f.Policy != ClusterPolicies[i] {
+			t.Fatalf("fleet %d ran policy %v, want %v", i, f.Policy, ClusterPolicies[i])
+		}
+		// Every policy is driven by the same churn trace.
+		if f.Placed != fleets[0].Placed || f.Load.Offered != fleets[0].Load.Offered {
+			t.Fatalf("policy %v saw different churn/load than %v", f.Policy, fleets[0].Policy)
+		}
+		if f.Load.Replies == 0 {
+			t.Fatalf("policy %v served nothing", f.Policy)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Cluster: 2 host(s)", "static", "hotplug", "vscale", "SLO", "central dom0 monitoring"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestClusterParallelDeterminism: the cluster experiment's rendered
+// report must be byte-identical whatever the per-fleet worker count.
+func TestClusterParallelDeterminism(t *testing.T) {
+	render := func(workers int) string {
+		r, err := Cluster(runner.Options{Workers: workers, BaseSeed: 3},
+			[]int{2}, 4, 3*sim.Second, 20*sim.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Render()
+	}
+	serial := render(1)
+	parallel := render(8)
+	if serial != parallel {
+		t.Fatalf("serial vs 8-worker cluster output differs:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
 func TestMotivationPhenomena(t *testing.T) {
 	r, err := Motivation(runner.Options{}, 5*sim.Second)
 	if err != nil {

@@ -412,6 +412,26 @@ func Registry() []Experiment {
 			}),
 		},
 		{
+			Name:        "cluster",
+			Title:       "Cluster — multi-host fleet under VM churn (static vs hotplug vs vScale)",
+			Desc:        "open-loop web load with VM arrivals/departures; reply-latency quantiles and SLO attainment per scaling policy",
+			QuickParams: "2 hosts, 8 s churn",
+			FullParams:  "2 and 4 hosts, 16 s churn",
+			Run: wrap("cluster", func(c *Config, rep *runner.Report) (string, error) {
+				hostCounts := []int{2, 4}
+				horizon := 16 * sim.Second
+				if c.Quick {
+					hostCounts = []int{2}
+					horizon = 8 * sim.Second
+				}
+				r, err := Cluster(c.opts(rep), hostCounts, 4, horizon, 50*sim.Millisecond)
+				if err != nil {
+					return "", err
+				}
+				return r.Render(), nil
+			}),
+		},
+		{
 			Name:        "extension",
 			Title:       "Extension — §7 future work: vScale-aware adaptive OpenMP teams",
 			Desc:        "fixed vs active-vCPU-adaptive OpenMP team under vScale",

@@ -20,6 +20,10 @@ type daemon struct {
 	// hotplug-path ablation); new decisions are skipped meanwhile.
 	reconfiguring bool
 
+	// stopped halts the poll loop permanently (VM retirement): the next
+	// timer firing becomes a no-op and does not re-arm.
+	stopped bool
+
 	// Reads counts channel polls, Decisions counts reconcile actions.
 	Reads, Decisions uint64
 }
@@ -47,9 +51,22 @@ func (d *daemon) schedule() {
 		period = 10 * 1000 * 1000 // 10 ms
 	}
 	k.addTimer(k.cpus[0], k.eng.Now()+period, func() {
+		if d.stopped {
+			return
+		}
 		d.poll()
 		d.schedule()
 	})
+}
+
+// StopDaemon halts the vScale daemon's poll loop, if one is running. A
+// retiring VM stops scaling itself so its frozen/active state no longer
+// changes; the pending timer fires once more as a no-op and is not
+// re-armed. Safe to call with the daemon disabled or already stopped.
+func (k *Kernel) StopDaemon() {
+	if k.daemon != nil {
+		k.daemon.stopped = true
+	}
 }
 
 // poll reads the vScale channel (syscall + hypercall, Table 1) and

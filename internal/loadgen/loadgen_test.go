@@ -1,0 +1,122 @@
+package loadgen
+
+import (
+	"testing"
+
+	"vscale/internal/guest"
+	"vscale/internal/sim"
+	"vscale/internal/workload/httpd"
+	"vscale/internal/xen"
+)
+
+func newRig(t *testing.T, seed uint64, cfg Config) (*sim.Engine, *httpd.Server, *Generator) {
+	t.Helper()
+	eng := sim.NewEngine(seed)
+	pool := xen.NewPool(eng, xen.DefaultConfig(4))
+	dom := pool.AddDomain("web", 256, 4, nil)
+	k := guest.NewKernel(dom, guest.DefaultConfig())
+	hcfg := httpd.DefaultConfig()
+	link := httpd.NewLink(eng, hcfg.LinkBps)
+	srv, err := httpd.NewServer(k, link, hcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := New(eng, srv, sim.NewRand(seed+99), cfg)
+	pool.Start()
+	k.Boot()
+	return eng, srv, g
+}
+
+func TestOpenLoopLightLoad(t *testing.T) {
+	eng, srv, g := newRig(t, 5, Config{RateRPS: 1000, SLO: 50 * sim.Millisecond})
+	g.Start()
+	if err := eng.RunUntil(4 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	g.Stop()
+	if err := eng.RunUntil(6 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	st := g.Stats()
+	// Poisson with mean 1000/s over 4s: expect ~4000 ± a few sigma.
+	if st.Offered < 3600 || st.Offered > 4400 {
+		t.Fatalf("offered = %d, want ~4000", st.Offered)
+	}
+	if st.Done != st.Offered {
+		t.Fatalf("done = %d, offered = %d: in-flight after drain", st.Done, st.Offered)
+	}
+	if st.Errors != 0 {
+		t.Fatalf("errors = %d at light load", st.Errors)
+	}
+	if att := st.Attainment(); att != 1 {
+		t.Fatalf("attainment = %g at light load, want 1", att)
+	}
+	if g.Hist().Count() != st.Replies {
+		t.Fatalf("hist count %d != replies %d", g.Hist().Count(), st.Replies)
+	}
+	// Dedicated 4-vCPU host: sub-millisecond p99.
+	if p99 := g.Hist().Quantile(0.99); p99 > 2 {
+		t.Fatalf("p99 = %.2fms at light load", p99)
+	}
+	if srv.Err() != nil {
+		t.Fatal(srv.Err())
+	}
+}
+
+func TestSetRateAndPause(t *testing.T) {
+	eng, _, g := newRig(t, 7, Config{RateRPS: 0, SLO: 50 * sim.Millisecond})
+	g.Start() // rate 0: paused
+	if err := eng.RunUntil(sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Offered != 0 {
+		t.Fatalf("offered = %d while paused", g.Stats().Offered)
+	}
+	g.SetRate(500)
+	if err := eng.RunUntil(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	mid := g.Stats().Offered
+	if mid < 800 || mid > 1200 {
+		t.Fatalf("offered = %d after 2s at 500/s, want ~1000", mid)
+	}
+	g.SetRate(0) // pause again
+	if err := eng.RunUntil(5 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Offered != mid {
+		t.Fatalf("offered moved %d -> %d while paused", mid, g.Stats().Offered)
+	}
+	g.SetRate(500)
+	g.Stop()
+	if err := eng.RunUntil(7 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if g.Stats().Offered != mid {
+		t.Fatalf("offered moved after Stop: %d -> %d", mid, g.Stats().Offered)
+	}
+	g.SetRate(500) // ignored after Stop
+	if g.Rate() != 0 && g.Stats().Offered != mid {
+		t.Fatal("SetRate after Stop must not restart arrivals")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	run := func() (Stats, float64) {
+		eng, _, g := newRig(t, 11, Config{RateRPS: 2000, SLO: 20 * sim.Millisecond})
+		g.Start()
+		if err := eng.RunUntil(3 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		g.Stop()
+		if err := eng.RunUntil(5 * sim.Second); err != nil {
+			t.Fatal(err)
+		}
+		return g.Stats(), g.Hist().Quantile(0.99)
+	}
+	s1, p1 := run()
+	s2, p2 := run()
+	if s1 != s2 || p1 != p2 {
+		t.Fatalf("same seed, different results: %+v/%g vs %+v/%g", s1, p1, s2, p2)
+	}
+}

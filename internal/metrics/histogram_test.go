@@ -1,0 +1,196 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+// unitBounds returns bounds 1,2,...,n so that observing each integer
+// 1..n exactly once makes every quantile exactly computable: the value
+// k sits alone in bucket (k-1, k], and the interpolated q-quantile is
+// exactly q*n.
+func unitBounds(n int) []float64 {
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i + 1)
+	}
+	return b
+}
+
+func TestHistogramExactQuantiles(t *testing.T) {
+	h := NewHistogram(unitBounds(100))
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	if h.Count() != 100 {
+		t.Fatalf("Count = %d, want 100", h.Count())
+	}
+	if h.Sum() != 5050 {
+		t.Fatalf("Sum = %g, want 5050", h.Sum())
+	}
+	if h.Mean() != 50.5 {
+		t.Fatalf("Mean = %g, want 50.5", h.Mean())
+	}
+	if h.Min() != 1 || h.Max() != 100 {
+		t.Fatalf("Min/Max = %g/%g, want 1/100", h.Min(), h.Max())
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0, 1}, {0.01, 1}, {0.25, 25}, {0.5, 50}, {0.75, 75},
+		{0.90, 90}, {0.95, 95}, {0.99, 99}, {1, 100},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	// 10 observations all in one bucket (10, 20]: quantiles spread
+	// linearly across the bucket.
+	h := NewHistogram([]float64{10, 20, 30})
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	// All mass in bucket (10,20]; q=0.5 -> 10 + 10*(5/10) = 15.
+	if got := h.Quantile(0.5); math.Abs(got-15) > 1e-9 {
+		t.Errorf("Quantile(0.5) = %g, want 15", got)
+	}
+	// Clamping: interpolation would give 12 for q=0.2, but min=15.
+	if got := h.Quantile(0.2); got != 15 {
+		t.Errorf("Quantile(0.2) = %g, want clamped to min 15", got)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(100)
+	h.Observe(200)
+	if got := h.Quantile(0.99); got > 200 || got < 100 {
+		t.Errorf("Quantile(0.99) = %g, want within overflow [100, 200]", got)
+	}
+	if got := h.Max(); got != 200 {
+		t.Errorf("Max = %g, want 200", got)
+	}
+	bs := h.Buckets()
+	if len(bs) != 3 {
+		t.Fatalf("Buckets len = %d, want 3", len(bs))
+	}
+	if !math.IsInf(bs[2].UpperBound, 1) || bs[2].Count != 2 {
+		t.Errorf("overflow bucket = %+v, want +Inf bound with count 2", bs[2])
+	}
+}
+
+func TestHistogramAttainment(t *testing.T) {
+	h := NewHistogram(unitBounds(100))
+	for v := 1; v <= 100; v++ {
+		h.Observe(float64(v))
+	}
+	for _, tc := range []struct{ slo, want float64 }{
+		{100, 1}, {1000, 1}, {50, 0.5}, {95, 0.95}, {0.5, 0},
+	} {
+		got := h.AttainmentBelow(tc.slo)
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("AttainmentBelow(%g) = %g, want %g", tc.slo, got, tc.want)
+		}
+	}
+	empty := NewHistogram(unitBounds(4))
+	if got := empty.AttainmentBelow(1); got != 1 {
+		t.Errorf("empty AttainmentBelow = %g, want 1", got)
+	}
+}
+
+func TestHistogramMergeAssociative(t *testing.T) {
+	bounds := ExpBuckets(0.1, 2, 12)
+	fill := func(seed, n int) *Histogram {
+		h := NewHistogram(bounds)
+		x := uint64(seed)
+		for i := 0; i < n; i++ {
+			// Tiny deterministic LCG; values spread across buckets
+			// and into overflow.
+			x = x*6364136223846793005 + 1442695040888963407
+			h.Observe(float64(x%5000) / 10)
+		}
+		return h
+	}
+	a, b, c := fill(1, 100), fill(2, 57), fill(3, 211)
+
+	// (a ⊕ b) ⊕ c
+	left := NewHistogram(bounds)
+	for _, h := range []*Histogram{a, b, c} {
+		if err := left.Merge(h); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a ⊕ (b ⊕ c)
+	bc := NewHistogram(bounds)
+	if err := bc.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if err := bc.Merge(c); err != nil {
+		t.Fatal(err)
+	}
+	right := NewHistogram(bounds)
+	if err := right.Merge(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := right.Merge(bc); err != nil {
+		t.Fatal(err)
+	}
+
+	if left.Count() != right.Count() || left.Count() != 368 {
+		t.Fatalf("Count mismatch: %d vs %d (want 368)", left.Count(), right.Count())
+	}
+	if left.Sum() != right.Sum() || left.Min() != right.Min() || left.Max() != right.Max() {
+		t.Fatalf("moment mismatch: sum %g/%g min %g/%g max %g/%g",
+			left.Sum(), right.Sum(), left.Min(), right.Min(), left.Max(), right.Max())
+	}
+	lb, rb := left.Buckets(), right.Buckets()
+	for i := range lb {
+		if lb[i] != rb[i] {
+			t.Errorf("bucket %d: %+v vs %+v", i, lb[i], rb[i])
+		}
+	}
+	for _, q := range []float64{0.5, 0.95, 0.99} {
+		if left.Quantile(q) != right.Quantile(q) {
+			t.Errorf("Quantile(%g): %g vs %g", q, left.Quantile(q), right.Quantile(q))
+		}
+	}
+}
+
+func TestHistogramMergeMismatch(t *testing.T) {
+	a := NewHistogram([]float64{1, 2, 3})
+	b := NewHistogram([]float64{1, 2})
+	b.Observe(1)
+	if err := a.Merge(b); err == nil {
+		t.Error("merge with different bucket counts: want error")
+	}
+	c := NewHistogram([]float64{1, 2, 4})
+	c.Observe(1)
+	if err := a.Merge(c); err == nil {
+		t.Error("merge with different bounds: want error")
+	}
+	// Empty or nil other histograms merge as no-ops regardless of shape.
+	if err := a.Merge(NewHistogram([]float64{9})); err != nil {
+		t.Errorf("merge of empty histogram: %v", err)
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("merge of nil histogram: %v", err)
+	}
+}
+
+func TestHistogramReset(t *testing.T) {
+	h := NewHistogram(unitBounds(4))
+	h.Observe(2)
+	h.Observe(3)
+	h.Reset()
+	if h.Count() != 0 || h.Sum() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Errorf("after Reset: n=%d sum=%g min=%g max=%g", h.Count(), h.Sum(), h.Min(), h.Max())
+	}
+	for _, b := range h.Buckets() {
+		if b.Count != 0 {
+			t.Errorf("bucket %g count %d after Reset", b.UpperBound, b.Count)
+		}
+	}
+}

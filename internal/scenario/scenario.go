@@ -131,6 +131,14 @@ type Built struct {
 	Tracer *trace.Tracer // nil when tracing is disabled
 }
 
+// WeightPerVCPU is the credit-scheduler weight granted per vCPU: a
+// domain's weight is proportional to its vCPU count, so the hypervisor
+// treats all vCPUs equally (the paper's weight configuration). Shared
+// by every scenario builder, including the cluster control plane, so
+// placement's extendability probes use the same weight scale the hosts
+// schedule with.
+const WeightPerVCPU = 128.0
+
 // Build assembles the host, VM under test and background VMs. Guests are
 // booted; the scheduler is started.
 func Build(s Setup) *Built {
@@ -152,11 +160,7 @@ func Build(s Setup) *Built {
 	pool := xen.NewPool(eng, xcfg)
 	pool.SetTracer(tr)
 
-	// Per-vCPU-equal weights: a domain's weight is proportional to its
-	// vCPU count (the paper configures weights so all vCPUs are treated
-	// equally by the hypervisor).
-	const weightPerVCPU = 128
-	vm := pool.AddDomain("vm", weightPerVCPU*float64(s.VMVCPUs), s.VMVCPUs, nil)
+	vm := pool.AddDomain("vm", WeightPerVCPU*float64(s.VMVCPUs), s.VMVCPUs, nil)
 
 	gcfg := guest.DefaultConfig()
 	gcfg.Seed = s.Seed * 7919
@@ -192,7 +196,7 @@ func Build(s Setup) *Built {
 		show = *s.Background
 	}
 	for i := 0; i < nbg; i++ {
-		dom := pool.AddDomain(fmt.Sprintf("bg%d", i), weightPerVCPU*2, 2, nil)
+		dom := pool.AddDomain(fmt.Sprintf("bg%d", i), WeightPerVCPU*2, 2, nil)
 		bcfg := guest.DefaultConfig()
 		bcfg.Seed = s.Seed*104729 + uint64(i)*31
 		bk := guest.NewKernel(dom, bcfg)

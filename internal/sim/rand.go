@@ -90,6 +90,22 @@ func (r *Rand) ExpFloat64() float64 {
 	}
 }
 
+// ExpDuration returns an exponential virtual duration with the given
+// mean — the inter-arrival law of a Poisson process, used by open-loop
+// load generators. The result is floored at 1 (never zero) so two
+// arrivals cannot collapse onto the same instant with identical
+// ordering ambiguity.
+func (r *Rand) ExpDuration(mean Time) Time {
+	if mean <= 0 {
+		panic("sim: ExpDuration with non-positive mean")
+	}
+	d := Time(float64(mean) * r.ExpFloat64())
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
 // Duration returns a uniform virtual duration in [lo, hi].
 func (r *Rand) Duration(lo, hi Time) Time {
 	if hi < lo {

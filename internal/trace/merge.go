@@ -27,11 +27,31 @@ import (
 // The result is meant for exporting, not for further recording: feeding
 // it new records would interleave with the re-anchored dwell clocks.
 func Merge(parts ...*Tracer) *Tracer {
+	return MergeLabeled(nil, parts...)
+}
+
+// MergeLabeled is Merge with explicit per-part track labels: labels[i]
+// replaces the default "run<i>" prefix for parts[i] (empty or missing
+// entries keep the default). A cluster simulation passes "host0",
+// "host1", ... so the merged Perfetto view groups tracks by host rather
+// than by anonymous run index. Labels align with the parts slice as
+// given, before nil parts are dropped.
+func MergeLabeled(labels []string, parts ...*Tracer) *Tracer {
 	var live []*Tracer
-	for _, p := range parts {
-		if p != nil {
-			live = append(live, p)
+	var liveLabels []string
+	for i, p := range parts {
+		if p == nil {
+			continue
 		}
+		label := ""
+		if i < len(labels) {
+			label = labels[i]
+		}
+		if label == "" {
+			label = fmt.Sprintf("run%d", len(live))
+		}
+		live = append(live, p)
+		liveLabels = append(liveLabels, label)
 	}
 	if len(live) == 0 {
 		return nil
@@ -63,7 +83,7 @@ func Merge(parts ...*Tracer) *Tracer {
 				name = fmt.Sprintf("dom%d", origID)
 			}
 			if len(live) > 1 {
-				name = fmt.Sprintf("run%d/%s", i, name)
+				name = liveLabels[i] + "/" + name
 			}
 			nd := &domAcc{name: name}
 			for _, a := range d.vcpus {

@@ -8,6 +8,8 @@
 package httpd
 
 import (
+	"fmt"
+
 	"vscale/internal/guest"
 	"vscale/internal/metrics"
 	"vscale/internal/sim"
@@ -143,6 +145,19 @@ type Server struct {
 
 	replies uint64
 	errors  uint64
+
+	// err records the first internal fault (e.g. a worker reaching an
+	// undefined phase); subsequent faults are dropped. A faulted worker
+	// exits instead of panicking, so one malformed config cannot kill a
+	// whole sweep worker.
+	err error
+
+	// OnComplete, when set, is invoked once per request at its terminal
+	// event: a reply delivered within the timeout (ok=true), a timeout
+	// (ok=false), or a backlog drop (ok=false). lat is the time from
+	// injection to the terminal event. Load generators hook this to
+	// build latency distributions without touching server internals.
+	OnComplete func(lat sim.Time, ok bool)
 }
 
 // workloadApp is a minimal stand-in for workload.App to avoid an import
@@ -150,8 +165,16 @@ type Server struct {
 type workloadApp struct{ threads int }
 
 // NewServer builds the server: a network device bound to vCPU0 and a
-// worker pool blocked on the accept queue.
-func NewServer(k *guest.Kernel, link *Link, cfg Config) *Server {
+// worker pool blocked on the accept queue. It rejects malformed
+// configurations up front so a bad sweep parameter surfaces as an error
+// instead of a mid-simulation fault.
+func NewServer(k *guest.Kernel, link *Link, cfg Config) (*Server, error) {
+	if err := validate(cfg); err != nil {
+		return nil, err
+	}
+	if link == nil {
+		return nil, fmt.Errorf("httpd: nil link")
+	}
 	s := &Server{k: k, cfg: cfg, link: link, app: &workloadApp{}}
 	s.dev = k.NewDevice("eth0", 0, cfg.SoftirqCost)
 	s.acceptQ = k.NewWaitQueue(cfg.Backlog)
@@ -159,8 +182,39 @@ func NewServer(k *guest.Kernel, link *Link, cfg Config) *Server {
 	for w := 0; w < cfg.Workers; w++ {
 		s.spawnWorker(w)
 	}
-	return s
+	return s, nil
 }
+
+// validate rejects configurations the model cannot run sensibly.
+func validate(cfg Config) error {
+	switch {
+	case cfg.Workers <= 0:
+		return fmt.Errorf("httpd: Workers = %d, need > 0", cfg.Workers)
+	case cfg.RequestCPU <= 0:
+		return fmt.Errorf("httpd: RequestCPU = %v, need > 0", cfg.RequestCPU)
+	case cfg.FileSize <= 0:
+		return fmt.Errorf("httpd: FileSize = %d, need > 0", cfg.FileSize)
+	case cfg.LinkBps <= 0:
+		return fmt.Errorf("httpd: LinkBps = %g, need > 0", cfg.LinkBps)
+	case cfg.Backlog <= 0:
+		return fmt.Errorf("httpd: Backlog = %d, need > 0", cfg.Backlog)
+	case cfg.Timeout <= 0:
+		return fmt.Errorf("httpd: Timeout = %v, need > 0", cfg.Timeout)
+	}
+	return nil
+}
+
+// fail records the first internal fault.
+func (s *Server) fail(err error) {
+	if s.err == nil {
+		s.err = err
+	}
+}
+
+// Err returns the first internal fault, if any. Callers should check it
+// after the simulation window: a non-nil error means results are
+// incomplete (some workers exited early).
+func (s *Server) Err() error { return s.err }
 
 func (s *Server) spawnWorker(id int) {
 	s.app.threads++
@@ -201,7 +255,11 @@ func (s *Server) spawnWorker(id int) {
 				})
 			}}
 		default:
-			panic("httpd: bad worker phase")
+			// An undefined phase means the worker state machine was
+			// corrupted (a programming or config error). Record it and
+			// retire this worker; the rest of the sweep keeps running.
+			s.fail(fmt.Errorf("httpd: worker %d reached undefined phase %d", id, phase))
+			return guest.ActExit{}
 		}
 	}
 	k.Spawn("httpd-worker", guest.Uthread, prog, nil)
@@ -210,13 +268,20 @@ func (s *Server) spawnWorker(id int) {
 // finish records a completed reply at the client.
 func (s *Server) finish(r *request) {
 	now := s.k.Engine().Now()
-	if now-r.t0 > s.cfg.Timeout {
+	lat := now - r.t0
+	if lat > s.cfg.Timeout {
 		s.errors++
+		if s.OnComplete != nil {
+			s.OnComplete(lat, false)
+		}
 		return
 	}
 	r.replied = now
 	s.replies++
-	s.resp.Observe((now - r.t0).Milliseconds())
+	s.resp.Observe(lat.Milliseconds())
+	if s.OnComplete != nil {
+		s.OnComplete(lat, true)
+	}
 }
 
 // Client drives the server open-loop at a constant rate for a duration
@@ -251,15 +316,19 @@ func (c *Client) Run(ratePerSec float64, duration sim.Time) {
 	}
 }
 
-// arrive models one connection: SYN interrupt → softirq (connection
-// established; connection time recorded) → after a client turnaround the
-// GET arrives → softirq posts it to the accept queue (or drops it when
-// the backlog is full).
-func (c *Client) arrive() {
-	s := c.s
-	eng := c.k.Engine()
+// arrive models one connection; see Server.Offer.
+func (c *Client) arrive() { c.s.Offer() }
+
+// Offer injects one connection at the current simulation time: SYN
+// interrupt → softirq (connection established; connection time
+// recorded) → after a client turnaround the GET arrives → softirq posts
+// it to the accept queue (or drops it when the backlog is full). Load
+// generators call this directly; the terminal outcome is reported
+// through OnComplete.
+func (s *Server) Offer() {
+	eng := s.k.Engine()
 	r := &request{t0: eng.Now()}
-	wire := c.cfg.WireDelay
+	wire := s.cfg.WireDelay
 	eng.After(wire, "httpd/syn", func() {
 		synArrived := eng.Now()
 		s.dev.Raise(func(cpuID int) {
@@ -281,6 +350,9 @@ func (c *Client) arrive() {
 					}
 					if !s.acceptQ.Post(r, cpuID) {
 						s.errors++ // backlog overflow: connection reset
+						if s.OnComplete != nil {
+							s.OnComplete(eng.Now()-r.t0, false)
+						}
 					}
 				})
 			})

@@ -16,7 +16,10 @@ func newServer(t *testing.T, pcpus, vcpus int, cfg Config) (*sim.Engine, *Server
 	dom := pool.AddDomain("web", 256, vcpus, nil)
 	k := guest.NewKernel(dom, guest.DefaultConfig())
 	link := NewLink(eng, cfg.LinkBps)
-	srv := NewServer(k, link, cfg)
+	srv, err := NewServer(k, link, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cl := NewClient(srv, sim.NewRand(31))
 	pool.Start()
 	k.Boot()

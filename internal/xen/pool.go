@@ -337,6 +337,21 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// SyncAccounting charges every currently running vCPU for the CPU it
+// has consumed since its last checkpoint, bringing per-vCPU credits and
+// per-domain consumption counters (Domain.TotalRunTime) up to the
+// present instant. The periodic accounting and vScale ticks do this
+// before reading consumptions; external observers (a cluster control
+// plane sampling per-domain usage between epochs) must call it too, or
+// in-flight slices since the last dispatch would be invisible.
+func (pool *Pool) SyncAccounting() {
+	for _, p := range pool.pcpus {
+		if p.current != nil {
+			pool.burnRunning(p.current)
+		}
+	}
+}
+
 // dispatch is the scheduler entry point for one pCPU: it charges and
 // requeues the current vCPU (if any), picks the best runnable vCPU
 // (stealing from peers when locally idle) and runs it.
@@ -697,11 +712,7 @@ func (pool *Pool) refreshPriority(v *VCPU) {
 // vCPUs, clamp hoarding, and refresh priorities. The VRT policy needs no
 // periodic accounting: weighting happens continuously in burnRunning.
 func (pool *Pool) acct() {
-	for _, p := range pool.pcpus {
-		if p.current != nil {
-			pool.burnRunning(p.current)
-		}
-	}
+	pool.SyncAccounting()
 	if pool.cfg.Policy == PolicyVRT {
 		return
 	}
@@ -813,11 +824,7 @@ func (pool *Pool) resortRunq(p *PCPU) {
 // period's consumption (Algorithm 1), making it readable through the
 // vScale channel.
 func (pool *Pool) vscaleTick() {
-	for _, p := range pool.pcpus {
-		if p.current != nil {
-			pool.burnRunning(p.current)
-		}
-	}
+	pool.SyncAccounting()
 	period := pool.vscaleTicker.Period()
 	stats := make([]core.VMStat, len(pool.domains))
 	for i, d := range pool.domains {
