@@ -21,6 +21,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -31,16 +32,22 @@ import (
 	"vscale/internal/report"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
+	"vscale/internal/telemetry"
 	"vscale/internal/trace"
 )
 
 // benchEntry is one experiment's accounting in the -benchjson file.
+// The per-run wall spread (min/mean/max) separates "slow because the
+// jobs are big" from "slow because one straggler serialized the pool".
 type benchEntry struct {
-	Name        string  `json:"name"`
-	Runs        int     `json:"runs"`
-	WallSeconds float64 `json:"wall_seconds"`
-	CPUSeconds  float64 `json:"cpu_seconds"`
-	Speedup     float64 `json:"speedup"`
+	Name           string  `json:"name"`
+	Runs           int     `json:"runs"`
+	WallSeconds    float64 `json:"wall_seconds"`
+	CPUSeconds     float64 `json:"cpu_seconds"`
+	Speedup        float64 `json:"speedup"`
+	JobWallMinSecs float64 `json:"job_wall_min_seconds,omitempty"`
+	JobWallMeanSec float64 `json:"job_wall_mean_seconds,omitempty"`
+	JobWallMaxSecs float64 `json:"job_wall_max_seconds,omitempty"`
 }
 
 // benchFile is the -benchjson schema (vscale-bench/v1).
@@ -67,6 +74,9 @@ func main() {
 	benchJSON := flag.String("benchjson", "", "write run accounting JSON to this path")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve a Prometheus /metrics scrape endpoint on this host:port while experiments run")
+	telemetryOut := flag.String("telemetry-out", "", "write deterministic per-epoch telemetry JSONL (vscale-telemetry/v1) to this path")
+	telemetryLinger := flag.Duration("telemetry-linger", 0, "keep serving the final telemetry snapshot this long after the experiments finish")
 	flag.Parse()
 
 	stopCPU, err := profiling.StartCPU(*cpuProfile)
@@ -124,6 +134,32 @@ func main() {
 	cfg.Trace = *traceOut != "" || *schedstats
 	cfg.TraceCapacity = *tracecap
 
+	// Live telemetry: the scrape endpoint and the JSONL stream both hang
+	// off one sink; diagnostics go to stderr so stdout stays
+	// byte-identical with telemetry on or off.
+	var telemetryFile *os.File
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		telemetryFile = f
+	}
+	var telemetryW io.Writer
+	if telemetryFile != nil {
+		telemetryW = telemetryFile
+	}
+	sink, err := telemetry.NewSink(*telemetryAddr, telemetryW)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if srv := sink.Server(); srv != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s\n", srv.Addr())
+	}
+	cfg.Telemetry = sink
+
 	out := os.Stdout
 	section := func(title string) {
 		fmt.Fprintf(out, "\n==================================================================\n%s\n==================================================================\n", title)
@@ -150,6 +186,9 @@ func main() {
 		if rep := res.Report; rep != nil {
 			entry.Runs = rep.Jobs
 			entry.CPUSeconds = rep.CPU().Seconds()
+			entry.JobWallMinSecs = rep.JobWallMin().Seconds()
+			entry.JobWallMeanSec = rep.JobWallMean().Seconds()
+			entry.JobWallMaxSecs = rep.JobWallMax().Seconds()
 			if wall > 0 {
 				entry.Speedup = rep.CPU().Seconds() / wall.Seconds()
 			}
@@ -226,4 +265,22 @@ func main() {
 	// -parallel settings.
 	fmt.Fprintf(os.Stderr, "\nall experiments done in %v (modes: %v)\n",
 		time.Since(start).Round(time.Millisecond), scenario.Modes())
+
+	if telemetryFile != nil {
+		if err := telemetryFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote telemetry JSONL to %s\n", *telemetryOut)
+	}
+	if sink.Server() != nil && *telemetryLinger > 0 {
+		// Hold the final snapshot up so scrapers (CI, a browser, a
+		// Prometheus instance mid-interval) don't race a fast run's exit.
+		fmt.Fprintf(os.Stderr, "telemetry: lingering %v on http://%s/metrics\n",
+			*telemetryLinger, sink.Server().Addr())
+		time.Sleep(*telemetryLinger)
+	}
+	if err := sink.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+	}
 }

@@ -23,12 +23,19 @@
 // (ui.perfetto.dev) or chrome://tracing; with -runs > 1 the per-run
 // timelines are stitched with trace.Merge under run0/, run1/, ...
 // track prefixes. -schedstats prints per-vCPU scheduling statistics.
-// See docs/observability.md.
+//
+// -telemetry-addr serves a Prometheus /metrics endpoint with the latest
+// collection epoch while the simulation runs; -telemetry-out writes the
+// per-epoch series as deterministic JSONL; -telemetry-epoch sets the
+// collection period (virtual time). Telemetry is purely observational:
+// stdout and all simulation results are byte-identical with it on or
+// off. See docs/observability.md.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -41,6 +48,7 @@ import (
 	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
+	"vscale/internal/telemetry"
 	"vscale/internal/trace"
 	"vscale/internal/workload"
 	"vscale/internal/workload/httpd"
@@ -66,6 +74,9 @@ func main() {
 	maxSecs := flag.Float64("max", 600, "simulation deadline, seconds")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this path on exit")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve a Prometheus /metrics scrape endpoint on this host:port while the simulation runs")
+	telemetryOut := flag.String("telemetry-out", "", "write deterministic per-epoch telemetry JSONL (vscale-telemetry/v1) to this path")
+	telemetryEpoch := flag.Duration("telemetry-epoch", 500*time.Millisecond, "telemetry collection period, virtual time")
 	flag.Parse()
 
 	stopCPU, err := profiling.StartCPU(*cpuProfile)
@@ -98,10 +109,33 @@ func main() {
 
 	wantTrace := *traceOut != "" || *schedstats
 
+	// Live telemetry: scrape endpoint and JSONL stream share one sink.
+	// Each run gets its own buffered collector (labelled run=<i>), and
+	// the buffers are flushed in submission order after the run barrier,
+	// so the JSONL stream is byte-identical for every -parallel setting.
+	// Diagnostics go to stderr; stdout is identical with telemetry off.
+	var telemetryFile *os.File
+	if *telemetryOut != "" {
+		f, err := os.Create(*telemetryOut)
+		fatal(err)
+		telemetryFile = f
+	}
+	var telemetryW io.Writer
+	if telemetryFile != nil {
+		telemetryW = telemetryFile
+	}
+	sink, err := telemetry.NewSink(*telemetryAddr, telemetryW)
+	fatal(err)
+	if srv := sink.Server(); srv != nil {
+		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s\n", srv.Addr())
+	}
+	cols := make([]*telemetry.Collector, *runs)
+	epoch := sim.FromSeconds(telemetryEpoch.Seconds())
+
 	// runOnce builds, runs and renders one scenario; its text output goes
 	// to the returned buffer so repeats can print in run order whatever
 	// the worker interleaving.
-	runOnce := func(runSeed uint64, tr *trace.Tracer) (string, error) {
+	runOnce := func(runSeed uint64, runIdx int, tr *trace.Tracer) (string, error) {
 		var out strings.Builder
 		s := scenario.DefaultSetup()
 		s.Mode = mode
@@ -113,6 +147,15 @@ func main() {
 		b := scenario.Build(s)
 		if *activetrace {
 			b.K.StartTrace(100 * sim.Millisecond)
+		}
+
+		col := telemetry.NewCollector(sink, true,
+			"run", strconv.Itoa(runIdx), "mode", *modeStr, "workload", *wl)
+		cols[runIdx] = col
+		var telGen *loadgen.Generator // set by the httpd branch
+		var observe func(now sim.Time)
+		if col != nil {
+			observe = func(now sim.Time) { collectScenario(col, b, telGen, *sloMs, now) }
 		}
 
 		fmt.Fprintf(&out, "host: %d pCPUs, VM: %d vCPUs, %d background VMs, mode: %v, workload: %s, seed: %d\n",
@@ -134,9 +177,9 @@ func main() {
 			if err != nil {
 				return "", err
 			}
-			res, err := b.RunApp(func(k *guest.Kernel) *workload.App {
+			res, err := b.RunAppObserved(func(k *guest.Kernel) *workload.App {
 				return npb.Launch(k, p, *vcpus, guest.SpinBudgetFromCount(*spin))
-			}, sim.FromSeconds(*maxSecs))
+			}, sim.FromSeconds(*maxSecs), epoch, observe)
 			if err != nil {
 				return "", err
 			}
@@ -147,19 +190,19 @@ func main() {
 			if err != nil {
 				return "", err
 			}
-			res, err := b.RunApp(func(k *guest.Kernel) *workload.App {
+			res, err := b.RunAppObserved(func(k *guest.Kernel) *workload.App {
 				return parsec.Launch(k, p, *vcpus, guest.SpinBudgetFromCount(*spin))
-			}, sim.FromSeconds(*maxSecs))
+			}, sim.FromSeconds(*maxSecs), epoch, observe)
 			if err != nil {
 				return "", err
 			}
 			printResult(res)
 		case *wl == "kernel-build":
-			res, err := b.RunApp(func(k *guest.Kernel) *workload.App {
+			res, err := b.RunAppObserved(func(k *guest.Kernel) *workload.App {
 				app := workload.NewApp(k, "kernel-build")
 				workload.NewKernelBuild(k, 2**vcpus).Start(app)
 				return app
-			}, sim.FromSeconds(*maxSecs))
+			}, sim.FromSeconds(*maxSecs), epoch, observe)
 			if err != nil {
 				return "", err
 			}
@@ -178,17 +221,18 @@ func main() {
 			gen := loadgen.New(b.Eng, srv, sim.NewRand(runSeed+7), loadgen.Config{
 				SLO: sim.FromMillis(*sloMs),
 			})
+			telGen = gen
 			warm := 2 * sim.Second
-			if err := b.Eng.RunUntil(warm); err != nil {
+			if err := runObserved(b.Eng, warm, epoch, observe); err != nil {
 				return "", err
 			}
 			window := sim.FromSeconds(*maxSecs)
 			gen.SetRate(rateK * 1000) // engine parked at warm: load starts now
-			if err := b.Eng.RunUntil(warm + window); err != nil {
+			if err := runObserved(b.Eng, warm+window, epoch, observe); err != nil {
 				return "", err
 			}
 			gen.Stop()
-			if err := b.Eng.RunUntil(warm + window + 2*sim.Second); err != nil {
+			if err := runObserved(b.Eng, warm+window+2*sim.Second, epoch, observe); err != nil {
 				return "", err
 			}
 			if err := srv.Err(); err != nil {
@@ -229,9 +273,28 @@ func main() {
 		if *runs > 1 {
 			runSeed = ctx.Seed // splitmix64-derived, stable per index
 		}
-		return runOnce(runSeed, ctx.Tracer)
+		return runOnce(runSeed, ctx.Index, ctx.Tracer)
 	})
 	fatal(err)
+
+	// Post-barrier: drain the per-run telemetry buffers in submission
+	// order. The scrape endpoint already saw each epoch live; the JSONL
+	// stream is assembled here so its order never depends on worker
+	// interleaving.
+	for _, col := range cols {
+		col.Flush()
+		fatal(col.Err())
+	}
+	if telemetryFile != nil {
+		fatal(telemetryFile.Close())
+		fmt.Fprintf(os.Stderr, "wrote telemetry JSONL to %s\n", *telemetryOut)
+	}
+	defer func() {
+		if err := sink.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
+
 	for i, o := range outs {
 		if *runs > 1 {
 			fmt.Printf("--- run %d ---\n", i)
@@ -242,6 +305,9 @@ func main() {
 		fmt.Printf("\n%d runs in %v wall (%v cpu, %.2fx speedup, %d workers)\n",
 			rep.Jobs, rep.Wall.Round(time.Millisecond), rep.CPU().Round(time.Millisecond),
 			rep.Speedup(), rep.Workers)
+		fmt.Printf("per-run wall: min=%v mean=%v max=%v\n",
+			rep.JobWallMin().Round(time.Millisecond), rep.JobWallMean().Round(time.Millisecond),
+			rep.JobWallMax().Round(time.Millisecond))
 	}
 
 	if wantTrace {

@@ -1,0 +1,145 @@
+package main
+
+import (
+	"vscale/internal/loadgen"
+	"vscale/internal/scenario"
+	"vscale/internal/sim"
+	"vscale/internal/telemetry"
+)
+
+// runObserved advances eng to stop in epoch-aligned chunks, calling
+// observe with the engine parked at every boundary (and at stop).
+// Chunking a RunUntil never reorders or drops events, so the simulation
+// is byte-identical to a single RunUntil(stop) — observe must only
+// read. A nil observe or epoch <= 0 degenerates to one call.
+func runObserved(eng *sim.Engine, stop, epoch sim.Time, observe func(now sim.Time)) error {
+	if observe == nil || epoch <= 0 {
+		return eng.RunUntil(stop)
+	}
+	for {
+		next := (eng.Now()/epoch + 1) * epoch
+		if next > stop {
+			next = stop
+		}
+		if err := eng.RunUntil(next); err != nil {
+			return err
+		}
+		observe(eng.Now())
+		if eng.Now() >= stop {
+			return nil
+		}
+	}
+}
+
+// collectScenario samples one single-host scenario at an epoch boundary
+// and closes the collector's epoch. Like the cluster collector it is
+// strictly read-only and runs while the engine is parked, so telemetry
+// can never perturb the simulation. gen is non-nil only for the httpd
+// workload; sloMs accompanies it.
+func collectScenario(col *telemetry.Collector, b *scenario.Built, gen *loadgen.Generator, sloMs float64, now sim.Time) {
+	if col == nil {
+		return
+	}
+	reg := col.Registry()
+
+	reg.GaugeSeries("vscale_sim_seconds",
+		"Virtual time of the simulation at this collection epoch.").Set(now.Seconds())
+	reg.GaugeSeries("vscale_telemetry_epoch",
+		"Collection epoch index within this run.").Set(float64(col.Epoch()))
+
+	// The scenario is one host; label it host="0" so the families share
+	// their label schema with the cluster exporter.
+	host := "0"
+	pcpus := b.Pool.PCPUs()
+	util := 0.0
+	if now > 0 && len(pcpus) > 0 {
+		util = 1 - float64(b.Pool.Idle())/(float64(now)*float64(len(pcpus)))
+	}
+	reg.GaugeSeries("vscale_host_util_ratio",
+		"pCPU busy fraction of the host since boot.", "host", host).Set(util)
+	reg.CounterSeries("vscale_host_idle_seconds_total",
+		"Summed pCPU idle time of the host.", "host", host).Set(b.Pool.Idle().Seconds())
+	reg.CounterSeries("vscale_host_sched_ticks_total",
+		"vScale extendability recalculations on the host.", "host", host).Set(float64(b.Pool.VScaleTicks))
+	reg.CounterSeries("vscale_host_engine_events_total",
+		"Simulation events processed by the host's engine.", "host", host).Set(float64(b.Eng.Processed))
+
+	var switches uint64
+	runq := 0
+	for _, p := range pcpus {
+		switches += p.Switches
+		runq += p.QueueLen()
+	}
+	reg.CounterSeries("vscale_host_context_switches_total",
+		"vCPU context switches across the host's pCPUs.", "host", host).Set(float64(switches))
+	reg.GaugeSeries("vscale_host_runq_len",
+		"Runnable vCPUs queued across the host's pCPUs.", "host", host).Set(float64(runq))
+
+	if b.Tracer != nil {
+		snap := b.Tracer.Snapshot(now)
+		var wake, lhp, steals, ipis uint64
+		var lhpTime sim.Time
+		for _, v := range snap.VCPUs {
+			wake += v.WakeCount
+			lhp += v.LHPCount
+			lhpTime += v.LHPTotal
+			steals += v.Steals
+			ipis += v.IPICount
+		}
+		reg.CounterSeries("vscale_host_wakeups_total",
+			"RUNNABLE-to-RUN transitions across the host's vCPUs.", "host", host).Set(float64(wake))
+		reg.CounterSeries("vscale_host_lhp_total",
+			"Lock-holder preemption incidents on the host.", "host", host).Set(float64(lhp))
+		reg.CounterSeries("vscale_host_lhp_seconds_total",
+			"Total time vCPUs spent descheduled while holding a lock.", "host", host).Set(lhpTime.Seconds())
+		reg.CounterSeries("vscale_host_steals_total",
+			"Runqueue steals to idle pCPUs on the host.", "host", host).Set(float64(steals))
+		reg.CounterSeries("vscale_host_ipis_total",
+			"Inter-vCPU IPIs delivered on the host.", "host", host).Set(float64(ipis))
+	}
+
+	// The VM under test. Background slideshow VMs stay out of the
+	// catalog: they are scenery, and their per-VM series would dwarf the
+	// signal at 2:1 consolidation.
+	labels := []string{"host", host, "vm", "vm"}
+	reg.GaugeSeries("vscale_vm_vcpus",
+		"vCPUs provisioned to the VM.", labels...).Set(float64(b.VM.VCPUCount()))
+	reg.GaugeSeries("vscale_vm_active_vcpus",
+		"vCPUs the guest balancer currently keeps unfrozen.", labels...).Set(float64(b.K.ActiveVCPUs()))
+	reg.CounterSeries("vscale_vm_cpu_seconds_total",
+		"CPU time consumed by the VM's vCPUs.", labels...).Set(b.VM.TotalRunTime.Seconds())
+	reg.CounterSeries("vscale_vm_wait_seconds_total",
+		"Scheduling delay accumulated by the VM's vCPUs.", labels...).Set(b.VM.TotalWaitTime.Seconds())
+
+	var credits sim.Time
+	for i := 0; i < b.VM.VCPUCount(); i++ {
+		credits += b.VM.VCPU(i).Credits()
+	}
+	reg.GaugeSeries("vscale_vm_credit_ns",
+		"Summed credit-scheduler balance of the VM's vCPUs, virtual ns.", labels...).Set(float64(credits))
+
+	_, decisions := b.K.DaemonStats()
+	reg.CounterSeries("vscale_vm_reconfigs_total",
+		"Scaling actions taken by the VM's daemon.", labels...).Set(float64(decisions))
+
+	if gen != nil {
+		reg.GaugeSeries("vscale_fleet_slo_ms",
+			"The per-request latency objective, milliseconds.").Set(sloMs)
+		reg.GaugeSeries("vscale_vm_offered_rps",
+			"Current offered request rate of the VM's load generator.", labels...).Set(gen.Rate())
+		st := gen.Stats()
+		reg.CounterSeries("vscale_vm_offered_requests_total",
+			"Requests injected into the VM by the open-loop generator.", labels...).Set(float64(st.Offered))
+		reg.CounterSeries("vscale_vm_replies_total",
+			"Replies delivered within the server timeout.", labels...).Set(float64(st.Replies))
+		reg.CounterSeries("vscale_vm_errors_total",
+			"Request timeouts and backlog drops.", labels...).Set(float64(st.Errors))
+		reg.CounterSeries("vscale_vm_slo_ok_total",
+			"Replies delivered within the SLO.", labels...).Set(float64(st.SLOOk))
+		reg.SummarySeries("vscale_vm_reply_latency_ms",
+			"Reply latency of the VM's requests, milliseconds.", labels...).
+			SetFromHistogram(gen.Hist(), 0.5, 0.95, 0.99)
+	}
+
+	col.EpochDone(now)
+}

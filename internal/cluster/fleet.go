@@ -9,6 +9,7 @@ import (
 	"vscale/internal/metrics"
 	"vscale/internal/runner"
 	"vscale/internal/sim"
+	"vscale/internal/telemetry"
 	"vscale/internal/trace"
 )
 
@@ -43,6 +44,14 @@ type FleetConfig struct {
 	// Report, when non-nil, accumulates the per-epoch host fan-out
 	// accounting (every host-epoch is one runner job).
 	Report *runner.Report
+	// Telemetry, when non-nil, receives one collection epoch per
+	// control-plane epoch (and one final epoch after the drain): the
+	// control plane samples every host, VM and load generator into the
+	// collector's registry while the engines are parked at the boundary,
+	// then publishes the scrape snapshot and the JSONL record. Purely
+	// observational: the run's results are byte-identical with or
+	// without it.
+	Telemetry *telemetry.Collector
 }
 
 // Placement records where one VM was admitted.
@@ -182,6 +191,7 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 		for i, h := range hosts {
 			stats[i] = h.Snapshot(end - start)
 		}
+		collectTelemetry(cfg.Telemetry, end, hosts, &res, cfg.SLO)
 	}
 
 	// Horizon reached: stop all load and drain in-flight requests.
@@ -191,6 +201,9 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 	if err := runEpoch(cfg.Horizon + cfg.Drain); err != nil {
 		return res, err
 	}
+	// One terminal collection epoch so the scrape endpoint and the JSONL
+	// stream both end on the fully drained state.
+	collectTelemetry(cfg.Telemetry, cfg.Horizon+cfg.Drain, hosts, &res, cfg.SLO)
 
 	// Aggregate in host order, then VM admission order — a fixed walk
 	// independent of scheduling interleavings.
@@ -202,13 +215,7 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 		vmsPerHost[i] = len(h.order)
 		for _, name := range h.order {
 			vm := h.vms[name]
-			st := vm.gen.Stats()
-			res.Load.Offered += st.Offered
-			res.Load.Done += st.Done
-			res.Load.Replies += st.Replies
-			res.Load.Errors += st.Errors
-			res.Load.SLOOk += st.SLOOk
-			res.Load.SLOTotal += st.SLOTotal
+			addStats(&res.Load, vm.gen.Stats())
 			if err := res.Hist.Merge(vm.gen.Hist()); err != nil {
 				return res, err
 			}

@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"vscale/internal/cluster"
 	"vscale/internal/report"
 	"vscale/internal/runner"
 	"vscale/internal/sim"
+	"vscale/internal/telemetry"
 	"vscale/internal/trace"
 )
 
@@ -34,7 +36,12 @@ type ClusterResult struct {
 // compete on identical VM lifecycles and the tail-latency differences
 // are attributable to scaling alone. Fleets run one after another;
 // each fleet fans its hosts across opts.Workers.
-func Cluster(opts runner.Options, hostCounts []int, pcpus int, horizon, slo sim.Time) (ClusterResult, error) {
+//
+// sink (which may be nil) receives live per-epoch telemetry: each
+// fleet gets its own collector labelled policy=<p>,hosts=<n>, appending
+// JSONL records in fleet order from the control plane's goroutine, so
+// the stream is byte-identical for any worker count.
+func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus int, horizon, slo sim.Time) (ClusterResult, error) {
 	if len(hostCounts) == 0 {
 		return ClusterResult{}, fmt.Errorf("cluster: no host counts")
 	}
@@ -57,6 +64,8 @@ func Cluster(opts runner.Options, hostCounts []int, pcpus int, horizon, slo sim.
 		events := cluster.GenTrace(tcfg, traceSeed)
 
 		for _, policy := range ClusterPolicies {
+			col := telemetry.NewCollector(sink, false,
+				"policy", policy.String(), "hosts", strconv.Itoa(hc))
 			fcfg := cluster.FleetConfig{
 				Hosts:        hc,
 				PCPUsPerHost: pcpus,
@@ -66,6 +75,7 @@ func Cluster(opts runner.Options, hostCounts []int, pcpus int, horizon, slo sim.
 				SLO:          slo,
 				Workers:      opts.Workers,
 				Report:       opts.Report,
+				Telemetry:    col,
 			}
 			if opts.Trace {
 				fcfg.Tracers = make([]*trace.Tracer, hc)
@@ -75,6 +85,9 @@ func Cluster(opts runner.Options, hostCounts []int, pcpus int, horizon, slo sim.
 			}
 			res, err := cluster.RunFleet(fcfg, events)
 			if err != nil {
+				return out, fmt.Errorf("cluster: %d hosts, %v: %w", hc, policy, err)
+			}
+			if err := col.Err(); err != nil {
 				return out, fmt.Errorf("cluster: %d hosts, %v: %w", hc, policy, err)
 			}
 			out.Fleets[hc] = append(out.Fleets[hc], res)

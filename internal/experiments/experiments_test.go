@@ -347,7 +347,7 @@ func TestExtensionAdaptiveTeam(t *testing.T) {
 }
 
 func TestClusterShape(t *testing.T) {
-	r, err := Cluster(runner.Options{BaseSeed: 3}, []int{2}, 4, 4*sim.Second, 50*sim.Millisecond)
+	r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{2}, 4, 4*sim.Second, 50*sim.Millisecond)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -379,7 +379,7 @@ func TestClusterShape(t *testing.T) {
 // report must be byte-identical whatever the per-fleet worker count.
 func TestClusterParallelDeterminism(t *testing.T) {
 	render := func(workers int) string {
-		r, err := Cluster(runner.Options{Workers: workers, BaseSeed: 3},
+		r, err := Cluster(runner.Options{Workers: workers, BaseSeed: 3}, nil,
 			[]int{2}, 4, 3*sim.Second, 20*sim.Millisecond)
 		if err != nil {
 			t.Fatal(err)

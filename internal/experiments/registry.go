@@ -7,6 +7,7 @@ import (
 
 	"vscale/internal/runner"
 	"vscale/internal/sim"
+	"vscale/internal/telemetry"
 )
 
 // Config parameterises one pass over the registry: sweep sizes (quick
@@ -32,6 +33,11 @@ type Config struct {
 	Trace bool
 	// TraceCapacity sizes each per-run ring.
 	TraceCapacity int
+	// Telemetry, when enabled, receives live per-epoch telemetry from
+	// the experiments that support it (currently the cluster fleets):
+	// scrape snapshots to the sink's server, deterministic JSONL records
+	// to its stream. Experiment stdout is unaffected.
+	Telemetry *telemetry.Sink
 
 	mu      sync.Mutex
 	npb4    *npbMemo
@@ -424,7 +430,7 @@ func Registry() []Experiment {
 					hostCounts = []int{2}
 					horizon = 8 * sim.Second
 				}
-				r, err := Cluster(c.opts(rep), hostCounts, 4, horizon, 50*sim.Millisecond)
+				r, err := Cluster(c.opts(rep), c.Telemetry, hostCounts, 4, horizon, 50*sim.Millisecond)
 				if err != nil {
 					return "", err
 				}

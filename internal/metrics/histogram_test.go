@@ -194,3 +194,98 @@ func TestHistogramReset(t *testing.T) {
 		}
 	}
 }
+
+// TestHistogramMergeEmptyIntoNonempty covers both directions of the
+// degenerate merge: an empty receiver must adopt the donor's min/max
+// wholesale (not fold them against its zero-valued fields), and a
+// non-empty receiver absorbing an empty donor must not move at all.
+func TestHistogramMergeEmptyIntoNonempty(t *testing.T) {
+	bounds := []float64{1, 2, 4, 8}
+	donor := NewHistogram(bounds)
+	for _, v := range []float64{3, 5, 7} {
+		donor.Observe(v)
+	}
+
+	empty := NewHistogram(bounds)
+	if err := empty.Merge(donor); err != nil {
+		t.Fatal(err)
+	}
+	// min=3 > 0: naive "min(h.min, o.min)" with a zeroed receiver would
+	// have reported 0 here.
+	if empty.Min() != 3 || empty.Max() != 7 || empty.Count() != 3 || empty.Sum() != 15 {
+		t.Fatalf("empty-receiver merge: min=%g max=%g n=%d sum=%g",
+			empty.Min(), empty.Max(), empty.Count(), empty.Sum())
+	}
+
+	full := NewHistogram(bounds)
+	full.Observe(2)
+	before := full.String()
+	if err := full.Merge(NewHistogram(bounds)); err != nil {
+		t.Fatal(err)
+	}
+	if full.String() != before || full.Count() != 1 || full.Min() != 2 || full.Max() != 2 {
+		t.Fatalf("merging an empty donor moved the receiver: %v -> %v", before, full.String())
+	}
+}
+
+// TestHistogramBoundaryObservations: a value exactly on a bucket bound
+// belongs to the bucket it closes (bounds are upper-inclusive), on both
+// the Observe path and after a Merge.
+func TestHistogramBoundaryObservations(t *testing.T) {
+	bounds := []float64{1, 2, 4}
+	h := NewHistogram(bounds)
+	for _, v := range []float64{1, 2, 4} {
+		h.Observe(v)
+	}
+	o := NewHistogram(bounds)
+	o.Observe(2) // doubles the boundary count in bucket (1,2]
+	if err := h.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	got := h.Buckets()
+	want := []BucketCount{
+		{UpperBound: 1, Count: 1},
+		{UpperBound: 2, Count: 2},
+		{UpperBound: 4, Count: 1},
+		{UpperBound: math.Inf(1), Count: 0},
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("bucket %d = %+v, want %+v (all: %+v)", i, got[i], want[i], got)
+		}
+	}
+	// Just past a bound spills into the next bucket.
+	h.Observe(math.Nextafter(2, 3))
+	if got := h.Buckets()[2].Count; got != 2 {
+		t.Fatalf("observation just above bound landed in bucket 2 count %d, want 2", got)
+	}
+}
+
+// TestHistogramQuantileExtremes: p0 and p100 are the exact observed
+// min and max, on empty, single-sample and merged histograms alike.
+func TestHistogramQuantileExtremes(t *testing.T) {
+	bounds := ExpBuckets(0.1, 2, 10)
+	h := NewHistogram(bounds)
+	if h.Quantile(0) != 0 || h.Quantile(1) != 0 {
+		t.Fatal("empty histogram extremes must be 0")
+	}
+	h.Observe(3.7)
+	if h.Quantile(0) != 3.7 || h.Quantile(1) != 3.7 {
+		t.Fatalf("single sample: p0=%g p100=%g", h.Quantile(0), h.Quantile(1))
+	}
+	o := NewHistogram(bounds)
+	o.Observe(0.04) // below the first bound
+	o.Observe(9000) // deep in the overflow bucket
+	if err := h.Merge(o); err != nil {
+		t.Fatal(err)
+	}
+	if h.Quantile(0) != 0.04 || h.Quantile(1) != 9000 {
+		t.Fatalf("merged: p0=%g p100=%g", h.Quantile(0), h.Quantile(1))
+	}
+	// Interior quantiles stay clamped inside the observed range.
+	for _, q := range []float64{0.001, 0.5, 0.999} {
+		if v := h.Quantile(q); v < 0.04 || v > 9000 {
+			t.Fatalf("Quantile(%g) = %g escaped [min, max]", q, v)
+		}
+	}
+}

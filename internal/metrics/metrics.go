@@ -40,10 +40,11 @@ func (c *Counter) Rate(start, end sim.Time) float64 {
 	return float64(c.n) / (end - start).Seconds()
 }
 
-// Summary accumulates scalar samples and exposes count/mean/min/max and
-// variance via Welford's algorithm. It does not retain samples.
+// Summary accumulates scalar samples and exposes count/sum/mean/min/max
+// and variance via Welford's algorithm. It does not retain samples.
 type Summary struct {
 	n        uint64
+	sum      float64
 	mean, m2 float64
 	min, max float64
 }
@@ -61,6 +62,7 @@ func (s *Summary) Observe(v float64) {
 		}
 	}
 	s.n++
+	s.sum += v
 	d := v - s.mean
 	s.mean += d / float64(s.n)
 	s.m2 += d * (v - s.mean)
@@ -88,8 +90,11 @@ func (s *Summary) Max() float64 {
 	return s.max
 }
 
-// Sum returns mean*count.
-func (s *Summary) Sum() float64 { return s.mean * float64(s.n) }
+// Sum returns the exact running sum of the observations. It is tracked
+// directly rather than reconstructed as mean*count: the Welford mean
+// carries per-update rounding, so the reconstruction drifts from the
+// plain accumulation a scrape consumer would expect of a _sum series.
+func (s *Summary) Sum() float64 { return s.sum }
 
 // Variance returns the population variance.
 func (s *Summary) Variance() float64 {

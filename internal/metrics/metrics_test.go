@@ -56,6 +56,29 @@ func TestSummaryMoments(t *testing.T) {
 	}
 }
 
+// TestSummarySumExact: Sum must be the plain left-to-right accumulation
+// of the observations, bit for bit — not the mean*count reconstruction,
+// whose per-update Welford rounding drifts on long mixed-sign streams.
+func TestSummarySumExact(t *testing.T) {
+	r := sim.NewRand(7)
+	var s Summary
+	var acc float64
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()*1e6 - 3e5
+		s.Observe(v)
+		acc += v
+	}
+	if s.Sum() != acc {
+		t.Fatalf("Sum() = %v, want exact accumulation %v", s.Sum(), acc)
+	}
+	// This stream is one where the old reconstruction demonstrably
+	// drifts; the test would not distinguish the implementations
+	// otherwise.
+	if rec := s.Mean() * float64(s.Count()); rec == acc {
+		t.Fatalf("mean*count = %v did not drift; pick a stream that exposes the difference", rec)
+	}
+}
+
 func TestSummaryMatchesSample(t *testing.T) {
 	f := func(vals []float64) bool {
 		var su Summary

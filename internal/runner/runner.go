@@ -102,6 +102,41 @@ func (r *Report) CPU() time.Duration {
 	return sum
 }
 
+// JobWallMin returns the shortest per-job wall clock (0 with no jobs).
+func (r *Report) JobWallMin() time.Duration {
+	if len(r.JobWall) == 0 {
+		return 0
+	}
+	min := r.JobWall[0]
+	for _, d := range r.JobWall[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	return min
+}
+
+// JobWallMax returns the longest per-job wall clock (0 with no jobs).
+// The max-to-mean ratio is the straggler indicator: a pool can never
+// beat Wall >= JobWallMax however many workers it has.
+func (r *Report) JobWallMax() time.Duration {
+	var max time.Duration
+	for _, d := range r.JobWall {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// JobWallMean returns the mean per-job wall clock (0 with no jobs).
+func (r *Report) JobWallMean() time.Duration {
+	if len(r.JobWall) == 0 {
+		return 0
+	}
+	return r.CPU() / time.Duration(len(r.JobWall))
+}
+
 // Speedup returns CPU()/Wall — ~1.0 when serial (or on a single-core
 // host), approaching the worker count when the jobs are uniform.
 func (r *Report) Speedup() float64 {

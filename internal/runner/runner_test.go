@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
 	"vscale/internal/sim"
 )
@@ -191,5 +192,36 @@ func TestZeroJobsAndReportAccumulation(t *testing.T) {
 	}
 	if rep.Jobs != 12 || len(rep.JobWall) != 12 || len(rep.Seeds) != 12 {
 		t.Fatalf("report did not accumulate: %+v", rep)
+	}
+}
+
+// TestJobWallStats: min/max/mean derive from the recorded per-job wall
+// clocks, and all degrade to 0 on an empty report.
+func TestJobWallStats(t *testing.T) {
+	var empty Report
+	if empty.JobWallMin() != 0 || empty.JobWallMax() != 0 || empty.JobWallMean() != 0 {
+		t.Fatal("empty report stats must be 0")
+	}
+	rep := Report{JobWall: []time.Duration{
+		4 * time.Millisecond, time.Millisecond, 7 * time.Millisecond, 4 * time.Millisecond,
+	}}
+	if got := rep.JobWallMin(); got != time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := rep.JobWallMax(); got != 7*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+	if got := rep.JobWallMean(); got != 4*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+
+	live := &Report{}
+	if _, err := Run(Options{Workers: 2, Report: live}, 5, simJob); err != nil {
+		t.Fatal(err)
+	}
+	if live.JobWallMin() <= 0 || live.JobWallMax() < live.JobWallMin() ||
+		live.JobWallMean() < live.JobWallMin() || live.JobWallMean() > live.JobWallMax() {
+		t.Fatalf("inconsistent wall stats: min=%v mean=%v max=%v",
+			live.JobWallMin(), live.JobWallMean(), live.JobWallMax())
 	}
 }

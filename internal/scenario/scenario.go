@@ -235,6 +235,18 @@ type AppResult struct {
 // AppResult.TimedOut, mirroring how the paper's timed-out runs are
 // still data points.
 func (b *Built) RunApp(launch func(k *guest.Kernel) *workload.App, deadline sim.Time) (AppResult, error) {
+	return b.RunAppObserved(launch, deadline, 0, nil)
+}
+
+// RunAppObserved is RunApp with a periodic observation hook: observe is
+// called with the engine parked at every epoch boundary (and once at
+// the end of the run), so telemetry collectors can sample kernel, pool
+// and domain state without scheduling a single engine event. The event
+// stream — and therefore every simulation result — is identical to
+// RunApp's: the run is merely chunked into epoch-length RunUntil calls,
+// and observe must only read. epoch <= 0 or a nil observe degenerates
+// to a single RunUntil.
+func (b *Built) RunAppObserved(launch func(k *guest.Kernel) *workload.App, deadline, epoch sim.Time, observe func(now sim.Time)) (AppResult, error) {
 	startWait := b.VM.TotalWaitTime
 	var startIPIs uint64
 	for i := 0; i < b.K.NCPUs(); i++ {
@@ -244,8 +256,25 @@ func (b *Built) RunApp(launch func(k *guest.Kernel) *workload.App, deadline sim.
 
 	app := launch(b.K)
 	app.OnDone = func(*workload.App) { b.Eng.Stop() }
-	if err := b.Eng.RunUntil(start + deadline); err != nil {
-		return AppResult{}, fmt.Errorf("scenario %q: %w", b.Setup.Mode, err)
+	stop := start + deadline
+	if observe == nil || epoch <= 0 {
+		if err := b.Eng.RunUntil(stop); err != nil {
+			return AppResult{}, fmt.Errorf("scenario %q: %w", b.Setup.Mode, err)
+		}
+	} else {
+		for i := 1; ; i++ {
+			next := start + sim.Time(i)*epoch
+			if next > stop {
+				next = stop
+			}
+			if err := b.Eng.RunUntil(next); err != nil {
+				return AppResult{}, fmt.Errorf("scenario %q: %w", b.Setup.Mode, err)
+			}
+			observe(b.Eng.Now())
+			if app.Done() || b.Eng.Now() >= stop {
+				break
+			}
+		}
 	}
 	end := b.Eng.Now()
 

@@ -1,0 +1,480 @@
+// Package telemetry is the live-observability layer of the vScale
+// reproduction: a small Prometheus-style metric registry fed by
+// periodic simulation-time collection epochs, exposed two ways — a
+// /metrics scrape endpoint served alongside a running simulation
+// (server.go) and a deterministic JSONL time-series stream (sink.go).
+//
+// Everything in the registry is stamped with virtual time only and
+// sampled at epoch boundaries while the simulation engines are parked,
+// so telemetry is purely observational: enabling it changes no
+// simulation result, and two runs with the same seed emit byte-identical
+// JSONL. The exposition format follows the Prometheus text format
+// (version 0.0.4), the same surface KubeVirt's domainstats collector
+// scrapes per VM and per host from a live hypervisor.
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+
+	"vscale/internal/metrics"
+	"vscale/internal/sim"
+)
+
+// Kind is a metric family's type, mirroring the Prometheus TYPE line.
+type Kind int
+
+// Metric kinds.
+const (
+	// KindGauge is an instantaneous level (utilisation, active vCPUs).
+	KindGauge Kind = iota
+	// KindCounter is a cumulative monotonically increasing total. The
+	// collectors sample cumulative totals from the simulation each
+	// epoch, so Set (not Add) is the usual update.
+	KindCounter
+	// KindSummary is a quantile summary: count, sum and a fixed set of
+	// quantiles, the shape of a Prometheus summary family.
+	KindSummary
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindGauge:
+		return "gauge"
+	case KindCounter:
+		return "counter"
+	case KindSummary:
+		return "summary"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// labelPair is one label key/value.
+type labelPair struct{ k, v string }
+
+// Quantile is one (quantile, value) point of a summary series.
+type Quantile struct {
+	Q float64
+	V float64
+}
+
+// Series is one labelled time series of a family. Values are replaced
+// wholesale at every collection epoch; the registry retains the last
+// written value between epochs (a departed VM's series freezes at its
+// final values, exactly like a real exporter).
+type Series struct {
+	labels []labelPair // sorted by key
+	sig    string
+
+	value float64 // gauge/counter
+
+	count     uint64 // summary
+	sum       float64
+	quantiles []Quantile
+}
+
+// Set replaces a gauge or counter value. For counters the collectors
+// sample cumulative totals from the simulation, so Set with a larger
+// total is the normal update.
+func (s *Series) Set(v float64) { s.value = v }
+
+// Add increments a gauge or counter value in place.
+func (s *Series) Add(delta float64) { s.value += delta }
+
+// Value returns the current gauge/counter value.
+func (s *Series) Value() float64 { return s.value }
+
+// SetSummary replaces a summary series: observation count, exact sum,
+// and the quantile points in ascending quantile order.
+func (s *Series) SetSummary(count uint64, sum float64, quantiles []Quantile) {
+	s.count = count
+	s.sum = sum
+	s.quantiles = append(s.quantiles[:0], quantiles...)
+}
+
+// SetFromHistogram fills a summary series from a metrics.Histogram at
+// the given quantiles (ascending).
+func (s *Series) SetFromHistogram(h *metrics.Histogram, qs ...float64) {
+	pts := make([]Quantile, 0, len(qs))
+	for _, q := range qs {
+		pts = append(pts, Quantile{Q: q, V: h.Quantile(q)})
+	}
+	s.SetSummary(h.Count(), h.Sum(), pts)
+}
+
+// Family is one named metric family holding any number of labelled
+// series.
+type Family struct {
+	name string
+	help string
+	kind Kind
+
+	series []*Series
+	bySig  map[string]*Series
+}
+
+// Name returns the family name.
+func (f *Family) Name() string { return f.name }
+
+// Kind returns the family kind.
+func (f *Family) Kind() Kind { return f.kind }
+
+// With returns the series for the given label key/value pairs, creating
+// it on first use. The registry's base labels are merged in; keys are
+// sorted, so label order at the call site does not matter. It panics on
+// an odd-length kv list, an invalid or duplicate key, or the reserved
+// keys "quantile" and "le" (a configuration error, like a malformed
+// histogram bound).
+func (f *Family) With(kv ...string) *Series {
+	if len(kv)%2 != 0 {
+		panic("telemetry: With needs key/value pairs")
+	}
+	pairs := make([]labelPair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, labelPair{k: kv[i], v: kv[i+1]})
+	}
+	return f.with(pairs)
+}
+
+func (f *Family) with(extra []labelPair) *Series {
+	pairs := append([]labelPair(nil), extra...)
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var sig strings.Builder
+	for i, p := range pairs {
+		if !validLabelKey(p.k) {
+			panic(fmt.Sprintf("telemetry: invalid label key %q", p.k))
+		}
+		if p.k == "quantile" || p.k == "le" {
+			panic(fmt.Sprintf("telemetry: label key %q is reserved", p.k))
+		}
+		if i > 0 {
+			if pairs[i-1].k == p.k {
+				panic(fmt.Sprintf("telemetry: duplicate label key %q", p.k))
+			}
+			sig.WriteByte(0xff)
+		}
+		sig.WriteString(p.k)
+		sig.WriteByte(0xfe)
+		sig.WriteString(p.v)
+	}
+	key := sig.String()
+	if s, ok := f.bySig[key]; ok {
+		return s
+	}
+	s := &Series{labels: pairs, sig: key}
+	f.bySig[key] = s
+	f.series = append(f.series, s)
+	return s
+}
+
+// Registry is a set of metric families. It is not safe for concurrent
+// use: one collector owns one registry and updates it between epochs,
+// handing immutable rendered snapshots to the scrape server.
+type Registry struct {
+	fams   []*Family
+	byName map[string]*Family
+	base   []labelPair
+}
+
+// NewRegistry returns an empty registry whose every series carries the
+// given base label key/value pairs (e.g. policy="vscale", hosts="2").
+func NewRegistry(baseKV ...string) *Registry {
+	if len(baseKV)%2 != 0 {
+		panic("telemetry: NewRegistry needs key/value pairs")
+	}
+	r := &Registry{byName: map[string]*Family{}}
+	for i := 0; i < len(baseKV); i += 2 {
+		r.base = append(r.base, labelPair{k: baseKV[i], v: baseKV[i+1]})
+	}
+	return r
+}
+
+// family returns the named family, creating it on first use; asking for
+// an existing name with a different kind panics (two collectors
+// disagreeing about a family's type is a bug, not data).
+func (r *Registry) family(name, help string, kind Kind) *Family {
+	if f, ok := r.byName[name]; ok {
+		if f.kind != kind {
+			panic(fmt.Sprintf("telemetry: family %s registered as %v, requested as %v", name, f.kind, kind))
+		}
+		return f
+	}
+	if !validFamilyName(name) {
+		panic(fmt.Sprintf("telemetry: invalid metric name %q", name))
+	}
+	f := &Family{name: name, help: help, kind: kind, bySig: map[string]*Series{}}
+	r.byName[name] = f
+	r.fams = append(r.fams, f)
+	return f
+}
+
+// Gauge returns (creating if needed) the named gauge family.
+func (r *Registry) Gauge(name, help string) *Family { return r.family(name, help, KindGauge) }
+
+// Counter returns (creating if needed) the named counter family.
+func (r *Registry) Counter(name, help string) *Family { return r.family(name, help, KindCounter) }
+
+// Summary returns (creating if needed) the named summary family.
+func (r *Registry) Summary(name, help string) *Family { return r.family(name, help, KindSummary) }
+
+// GaugeSeries is shorthand for Gauge(name, help).With(base+kv).
+func (r *Registry) GaugeSeries(name, help string, kv ...string) *Series {
+	return r.seriesOf(r.Gauge(name, help), kv)
+}
+
+// CounterSeries is shorthand for Counter(name, help).With(base+kv).
+func (r *Registry) CounterSeries(name, help string, kv ...string) *Series {
+	return r.seriesOf(r.Counter(name, help), kv)
+}
+
+// SummarySeries is shorthand for Summary(name, help).With(base+kv).
+func (r *Registry) SummarySeries(name, help string, kv ...string) *Series {
+	return r.seriesOf(r.Summary(name, help), kv)
+}
+
+func (r *Registry) seriesOf(f *Family, kv []string) *Series {
+	if len(kv)%2 != 0 {
+		panic("telemetry: series needs key/value pairs")
+	}
+	pairs := append([]labelPair(nil), r.base...)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, labelPair{k: kv[i], v: kv[i+1]})
+	}
+	return f.with(pairs)
+}
+
+// sortedFamilies returns the families in name order (the render order).
+func (r *Registry) sortedFamilies() []*Family {
+	fams := append([]*Family(nil), r.fams...)
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	return fams
+}
+
+// sortedSeries returns a family's series in label-signature order.
+func (f *Family) sortedSeries() []*Series {
+	out := append([]*Series(nil), f.series...)
+	sort.Slice(out, func(i, j int) bool { return out[i].sig < out[j].sig })
+	return out
+}
+
+// RenderProm renders the whole registry in the Prometheus text
+// exposition format (version 0.0.4): families in name order, series in
+// label order — a deterministic function of the registry contents.
+func (r *Registry) RenderProm() []byte {
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(&b, "# HELP %s %s\n", f.name, escapeHelp(f.help))
+		fmt.Fprintf(&b, "# TYPE %s %s\n", f.name, f.kind)
+		for _, s := range f.sortedSeries() {
+			switch f.kind {
+			case KindSummary:
+				for _, q := range s.quantiles {
+					b.WriteString(f.name)
+					writeLabels(&b, s.labels, "quantile", formatFloat(q.Q))
+					b.WriteByte(' ')
+					b.WriteString(formatFloat(q.V))
+					b.WriteByte('\n')
+				}
+				b.WriteString(f.name)
+				b.WriteString("_sum")
+				writeLabels(&b, s.labels, "", "")
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(s.sum))
+				b.WriteByte('\n')
+				b.WriteString(f.name)
+				b.WriteString("_count")
+				writeLabels(&b, s.labels, "", "")
+				b.WriteByte(' ')
+				b.WriteString(strconv.FormatUint(s.count, 10))
+				b.WriteByte('\n')
+			default:
+				b.WriteString(f.name)
+				writeLabels(&b, s.labels, "", "")
+				b.WriteByte(' ')
+				b.WriteString(formatFloat(s.value))
+				b.WriteByte('\n')
+			}
+		}
+	}
+	return []byte(b.String())
+}
+
+// jsonQuantile, jsonSeries and jsonRecord are the JSONL schema
+// (vscale-telemetry/v1). encoding/json renders map keys sorted and
+// floats in shortest form, so the bytes are a deterministic function of
+// the registry contents.
+type jsonQuantile struct {
+	Q float64 `json:"q"`
+	V float64 `json:"v"`
+}
+
+type jsonSeries struct {
+	Name      string            `json:"name"`
+	Labels    map[string]string `json:"labels,omitempty"`
+	Value     *float64          `json:"value,omitempty"`
+	Count     *uint64           `json:"count,omitempty"`
+	Sum       *float64          `json:"sum,omitempty"`
+	Quantiles []jsonQuantile    `json:"quantiles,omitempty"`
+}
+
+type jsonRecord struct {
+	Schema string       `json:"schema"`
+	Epoch  int          `json:"epoch"`
+	VtMs   float64      `json:"vt_ms"`
+	Series []jsonSeries `json:"series"`
+}
+
+// SchemaJSONL is the schema tag carried by every JSONL record.
+const SchemaJSONL = "vscale-telemetry/v1"
+
+// RenderJSONL renders one newline-terminated JSONL record of the whole
+// registry at the given collection epoch and virtual time. Families and
+// series appear in the same deterministic order as RenderProm.
+func (r *Registry) RenderJSONL(epoch int, now sim.Time) ([]byte, error) {
+	rec := jsonRecord{Schema: SchemaJSONL, Epoch: epoch, VtMs: now.Milliseconds()}
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			js := jsonSeries{Name: f.name}
+			if len(s.labels) > 0 {
+				js.Labels = make(map[string]string, len(s.labels))
+				for _, p := range s.labels {
+					js.Labels[p.k] = p.v
+				}
+			}
+			if f.kind == KindSummary {
+				count, sum := s.count, sanitizeJSON(s.sum)
+				js.Count, js.Sum = &count, &sum
+				for _, q := range s.quantiles {
+					js.Quantiles = append(js.Quantiles, jsonQuantile{Q: q.Q, V: sanitizeJSON(q.V)})
+				}
+			} else {
+				v := sanitizeJSON(s.value)
+				js.Value = &v
+			}
+			rec.Series = append(rec.Series, js)
+		}
+	}
+	out, err := json.Marshal(rec)
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// sanitizeJSON maps non-finite values (which JSON cannot carry) to 0;
+// the collectors never produce them, but a defensive exporter beats a
+// mid-run marshal error.
+func sanitizeJSON(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return v
+}
+
+// writeLabels renders {k="v",...} with the optional extra pair appended
+// (the summary quantile label); an empty label set with no extra
+// renders nothing.
+func writeLabels(b *strings.Builder, labels []labelPair, extraK, extraV string) {
+	if len(labels) == 0 && extraK == "" {
+		return
+	}
+	b.WriteByte('{')
+	for i, p := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
+	}
+	if extraK != "" {
+		if len(labels) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(extraK)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(extraV))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+}
+
+// formatFloat renders a sample value the way Prometheus expects:
+// shortest round-trip form, with the special spellings for infinities
+// and NaN.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	default:
+		return strconv.FormatFloat(v, 'g', -1, 64)
+	}
+}
+
+// escapeLabelValue escapes backslash, double quote and newline per the
+// exposition format.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes backslash and newline in HELP text.
+func escapeHelp(h string) string {
+	h = strings.ReplaceAll(h, `\`, `\\`)
+	return strings.ReplaceAll(h, "\n", `\n`)
+}
+
+// validFamilyName checks the Prometheus metric-name grammar
+// [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validFamilyName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey checks the Prometheus label-name grammar
+// [a-zA-Z_][a-zA-Z0-9_]*.
+func validLabelKey(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_'
+		if !alpha && (i == 0 || r < '0' || r > '9') {
+			return false
+		}
+	}
+	return true
+}

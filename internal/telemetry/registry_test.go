@@ -1,0 +1,133 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+
+	"vscale/internal/metrics"
+	"vscale/internal/sim"
+)
+
+func TestRenderPromFormat(t *testing.T) {
+	r := NewRegistry("policy", "vscale")
+	r.GaugeSeries("vscale_host_util_ratio", "pCPU busy fraction", "host", "0").Set(0.25)
+	r.GaugeSeries("vscale_host_util_ratio", "pCPU busy fraction", "host", "1").Set(0.5)
+	r.CounterSeries("vscale_fleet_vms_placed_total", "VM admissions").Set(3)
+	h := metrics.NewHistogram([]float64{1, 10, 100})
+	for _, v := range []float64{0.5, 5, 50, 50} {
+		h.Observe(v)
+	}
+	r.SummarySeries("vscale_vm_reply_latency_ms", "reply latency", "host", "0", "vm", "vm0").
+		SetFromHistogram(h, 0.5, 0.99)
+
+	out := string(r.RenderProm())
+	for _, want := range []string{
+		"# HELP vscale_fleet_vms_placed_total VM admissions\n# TYPE vscale_fleet_vms_placed_total counter\nvscale_fleet_vms_placed_total{policy=\"vscale\"} 3\n",
+		"# TYPE vscale_host_util_ratio gauge\n",
+		"vscale_host_util_ratio{host=\"0\",policy=\"vscale\"} 0.25\n",
+		"vscale_host_util_ratio{host=\"1\",policy=\"vscale\"} 0.5\n",
+		"# TYPE vscale_vm_reply_latency_ms summary\n",
+		"vscale_vm_reply_latency_ms{host=\"0\",policy=\"vscale\",vm=\"vm0\",quantile=\"0.5\"}",
+		"vscale_vm_reply_latency_ms_sum{host=\"0\",policy=\"vscale\",vm=\"vm0\"} 105.5\n",
+		"vscale_vm_reply_latency_ms_count{host=\"0\",policy=\"vscale\",vm=\"vm0\"} 4\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// Families render in name order.
+	if strings.Index(out, "vscale_fleet_vms_placed_total") > strings.Index(out, "vscale_host_util_ratio") {
+		t.Fatalf("families not sorted by name:\n%s", out)
+	}
+}
+
+func TestRenderPromEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeSeries("g", "line1\nline2 \\ back", "l", "a\"b\\c\nd").Set(1)
+	out := string(r.RenderProm())
+	if !strings.Contains(out, `# HELP g line1\nline2 \\ back`) {
+		t.Fatalf("help not escaped:\n%s", out)
+	}
+	if !strings.Contains(out, `g{l="a\"b\\c\nd"} 1`) {
+		t.Fatalf("label value not escaped:\n%s", out)
+	}
+}
+
+func TestSeriesIdentityAndLabelOrder(t *testing.T) {
+	r := NewRegistry()
+	a := r.GaugeSeries("g", "", "x", "1", "y", "2")
+	b := r.GaugeSeries("g", "", "y", "2", "x", "1")
+	if a != b {
+		t.Fatal("label order created distinct series")
+	}
+	if c := r.GaugeSeries("g", "", "x", "1", "y", "3"); c == a {
+		t.Fatal("different label values shared a series")
+	}
+}
+
+func TestKindMismatchPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("m", "")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a gauge as a counter did not panic")
+		}
+	}()
+	r.Counter("m", "")
+}
+
+func TestReservedLabelPanics(t *testing.T) {
+	r := NewRegistry()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("reserved label key did not panic")
+		}
+	}()
+	r.GaugeSeries("m", "", "quantile", "0.5")
+}
+
+func TestRenderJSONLDeterministic(t *testing.T) {
+	build := func() *Registry {
+		r := NewRegistry("policy", "static")
+		r.GaugeSeries("vscale_sim_seconds", "virtual time").Set(1.5)
+		r.CounterSeries("vscale_vm_cpu_seconds_total", "", "vm", "vm0", "host", "0").Set(0.125)
+		h := metrics.NewHistogram([]float64{1, 10})
+		h.Observe(3)
+		r.SummarySeries("vscale_vm_reply_latency_ms", "", "vm", "vm0", "host", "0").
+			SetFromHistogram(h, 0.5, 0.95)
+		return r
+	}
+	a, err := build().RenderJSONL(7, 3*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := build().RenderJSONL(7, 3*sim.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("identical registries rendered different JSONL:\n%s\n%s", a, b)
+	}
+	line := string(a)
+	for _, want := range []string{
+		`"schema":"vscale-telemetry/v1"`, `"epoch":7`, `"vt_ms":3000`,
+		`"name":"vscale_vm_reply_latency_ms"`, `"count":1`, `"quantiles"`,
+		`"labels":{"host":"0","policy":"static","vm":"vm0"}`,
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("JSONL missing %q:\n%s", want, line)
+		}
+	}
+	if !strings.HasSuffix(line, "\n") {
+		t.Fatal("JSONL record not newline-terminated")
+	}
+}
+
+func TestFormatFloatSpecials(t *testing.T) {
+	cases := map[float64]string{0.25: "0.25", 1e21: "1e+21"}
+	for v, want := range cases {
+		if got := formatFloat(v); got != want {
+			t.Fatalf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

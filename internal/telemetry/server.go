@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+)
+
+// Server is the scrape endpoint: an HTTP listener serving the most
+// recently published exposition snapshot on /metrics. The simulation
+// side hands over an immutable rendered snapshot at each collection
+// epoch with Publish (a single atomic pointer swap), so the hot path
+// never takes a lock and scrapes never block the simulation — the
+// epoch-boundary handoff the fleet control plane already pays for
+// placement telemetry doubles as the publication point.
+type Server struct {
+	ln   net.Listener
+	srv  *http.Server
+	snap atomic.Pointer[[]byte]
+}
+
+// NewServer starts serving on addr (host:port; use port 0 for an
+// ephemeral port) in a background goroutine. The returned server is
+// ready to scrape immediately; until the first Publish, /metrics
+// answers 503.
+func NewServer(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	s := &Server{ln: ln}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/", s.handleIndex)
+	s.srv = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	go func() {
+		// ErrServerClosed on Close is the expected shutdown path; any
+		// other serve error just ends the endpoint — the simulation must
+		// never die because observability did.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the bound listen address (useful with port 0).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Publish swaps in a new immutable exposition snapshot. The caller must
+// not mutate text afterwards.
+func (s *Server) Publish(text []byte) { s.snap.Store(&text) }
+
+// handleMetrics serves the latest snapshot.
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	snap := s.snap.Load()
+	if snap == nil {
+		http.Error(w, "no telemetry snapshot published yet", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write(*snap)
+}
+
+// handleIndex points scrapers at /metrics.
+func (s *Server) handleIndex(w http.ResponseWriter, req *http.Request) {
+	if req.URL.Path != "/" {
+		http.NotFound(w, req)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, `<html><body><h1>vScale simulation telemetry</h1><p><a href="/metrics">/metrics</a></p></body></html>`)
+}
+
+// Close stops the listener. In-flight scrapes are cut off; this is the
+// end of a simulation run, not a graceful service drain.
+func (s *Server) Close() error { return s.srv.Close() }
