@@ -30,7 +30,9 @@ race:
 # plus the event-core microbenchmarks recorded as ns/op + allocs/op in
 # BENCH_sim.json (schema vscale-simbench/v1), plus the cluster fleet
 # experiment on its own in BENCH_cluster.json (its per-epoch host
-# fan-out accounting is the multi-engine scaling signal).
+# fan-out accounting is the multi-engine scaling signal, and its
+# "metrics" map records cost_vcpu_seconds and attainment per scaling
+# policy so the cost-vs-attainment frontier is tracked over time).
 bench:
 	go run ./cmd/vscale-experiments -quick -benchjson BENCH_experiments.json >/dev/null
 	go run ./cmd/vscale-experiments -experiment cluster -quick -benchjson BENCH_cluster.json >/dev/null

@@ -12,9 +12,16 @@
 // each experiment fans its independent simulation runs across; the
 // printed tables are byte-identical for every worker count.
 //
+// -policies selects the scaling policies the cluster experiment
+// competes, resolved through the cluster policy registry ('all' or a
+// comma-separated subset of static, hotplug, vscale, pid, predictive,
+// plus anything linked in via cluster.RegisterPolicy).
+//
 // -benchjson writes the per-experiment run accounting (wall clock, CPU
 // time, speedup) to a JSON file; `make bench` uses it to produce
-// BENCH_experiments.json.
+// BENCH_experiments.json. Experiments that publish scalar results (the
+// cluster shoot-out's per-policy cost_vcpu_seconds and attainment) carry
+// them in the entry's "metrics" map.
 package main
 
 import (
@@ -27,6 +34,7 @@ import (
 	"strings"
 	"time"
 
+	"vscale/internal/cluster"
 	"vscale/internal/experiments"
 	"vscale/internal/profiling"
 	"vscale/internal/report"
@@ -48,6 +56,11 @@ type benchEntry struct {
 	JobWallMinSecs float64 `json:"job_wall_min_seconds,omitempty"`
 	JobWallMeanSec float64 `json:"job_wall_mean_seconds,omitempty"`
 	JobWallMaxSecs float64 `json:"job_wall_max_seconds,omitempty"`
+	// Metrics carries the experiment's scalar results (for the cluster
+	// shoot-out: "{hosts}h/{policy}/cost_vcpu_seconds" and
+	// ".../attainment" per competed policy) so benchmark history tracks
+	// result quality alongside run cost.
+	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
 // benchFile is the -benchjson schema (vscale-bench/v1).
@@ -67,6 +80,7 @@ func main() {
 	quick := flag.Bool("quick", false, "shrink sweeps for a fast pass")
 	parallel := flag.Int("parallel", 0, "worker pool size per experiment (default GOMAXPROCS)")
 	window := flag.Float64("window", 20, "Apache measurement window per load level, seconds")
+	policies := flag.String("policies", "all", "comma-separated scaling policies for the cluster experiment (or 'all'; registry names)")
 	seed := flag.Uint64("seed", 1, "base seed for per-run seed derivation")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this path")
 	schedstats := flag.Bool("schedstats", false, "print aggregate per-vCPU scheduling statistics")
@@ -133,6 +147,12 @@ func main() {
 	cfg.BaseSeed = *seed
 	cfg.Trace = *traceOut != "" || *schedstats
 	cfg.TraceCapacity = *tracecap
+	pols, err := cluster.ParsePolicies(*policies)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	cfg.Policies = pols
 
 	// Live telemetry: the scrape endpoint and the JSONL stream both hang
 	// off one sink; diagnostics go to stderr so stdout stays
@@ -182,7 +202,7 @@ func main() {
 		section(e.Title)
 		fmt.Fprint(out, res.Text)
 		wall := time.Since(expStart)
-		entry := benchEntry{Name: e.Name, WallSeconds: wall.Seconds()}
+		entry := benchEntry{Name: e.Name, WallSeconds: wall.Seconds(), Metrics: res.Metrics}
 		if rep := res.Report; rep != nil {
 			entry.Runs = rep.Jobs
 			entry.CPUSeconds = rep.CPU().Seconds()

@@ -30,6 +30,15 @@
 // collection period (virtual time). Telemetry is purely observational:
 // stdout and all simulation results are byte-identical with it on or
 // off. See docs/observability.md.
+//
+// -policies switches the command into fleet mode: instead of the
+// single-VM consolidation scenario it runs the multi-host cluster fleet
+// under VM churn, competing the named scaling policies (resolved
+// through the cluster policy registry; 'all' runs every registered
+// policy) on identical churn traces and printing the SLO scoreboard
+// with its cost-vs-attainment frontier. -hosts and -horizon size the
+// fleet; -pcpus, -slo, -seed and -parallel keep their meanings.
+// See docs/cluster.md.
 package main
 
 import (
@@ -41,6 +50,8 @@ import (
 	"strings"
 	"time"
 
+	"vscale/internal/cluster"
+	"vscale/internal/experiments"
 	"vscale/internal/guest"
 	"vscale/internal/loadgen"
 	"vscale/internal/profiling"
@@ -70,6 +81,9 @@ func main() {
 	tracecap := flag.Int("tracecap", trace.DefaultRingCapacity, "trace ring capacity (events)")
 	activetrace := flag.Bool("activetrace", false, "print the active-vCPU trace")
 	sloMs := flag.Float64("slo", 50, "httpd per-request SLO, milliseconds")
+	policiesFlag := flag.String("policies", "", "fleet mode: comma-separated scaling policies to compete (or 'all'; registry names)")
+	hosts := flag.Int("hosts", 2, "fleet mode: hosts in the fleet")
+	horizonSecs := flag.Float64("horizon", 8, "fleet mode: churn horizon, seconds")
 	nobg := flag.Bool("dedicated", false, "no background VMs")
 	maxSecs := flag.Float64("max", 600, "simulation deadline, seconds")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
@@ -129,6 +143,30 @@ func main() {
 	if srv := sink.Server(); srv != nil {
 		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s\n", srv.Addr())
 	}
+	// Fleet mode: -policies hands the whole invocation to the cluster
+	// fleet shoot-out. The sink above still serves/streams telemetry;
+	// stdout is the scoreboard with its cost-vs-attainment frontier and
+	// is byte-identical for every -parallel setting.
+	if *policiesFlag != "" {
+		pols, err := cluster.ParsePolicies(*policiesFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		r, err := experiments.Cluster(runner.Options{Workers: *parallel, BaseSeed: *seed},
+			sink, []int{*hosts}, *pcpus, sim.FromSeconds(*horizonSecs), sim.FromMillis(*sloMs), pols)
+		fatal(err)
+		fmt.Print(r.Render())
+		if telemetryFile != nil {
+			fatal(telemetryFile.Close())
+			fmt.Fprintf(os.Stderr, "wrote telemetry JSONL to %s\n", *telemetryOut)
+		}
+		if err := sink.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		return
+	}
+
 	cols := make([]*telemetry.Collector, *runs)
 	epoch := sim.FromSeconds(telemetryEpoch.Seconds())
 

@@ -89,10 +89,20 @@ func TestParseTraceErrors(t *testing.T) {
 	}
 }
 
+// mustHost builds a host or fails the test.
+func mustHost(t *testing.T, id int, cfg HostConfig) *Host {
+	t.Helper()
+	h, err := NewHost(id, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
 func TestPickHostPrefersIdleHost(t *testing.T) {
 	hosts := []*Host{
-		NewHost(0, HostConfig{PCPUs: 4, Seed: 1}),
-		NewHost(1, HostConfig{PCPUs: 4, Seed: 2}),
+		mustHost(t, 0, HostConfig{PCPUs: 4, Seed: 1, Policy: staticPolicy{}}),
+		mustHost(t, 1, HostConfig{PCPUs: 4, Seed: 2, Policy: staticPolicy{}}),
 	}
 	epoch := 500 * sim.Millisecond
 	// Host 0 is saturated by two full-throttle competitors; host 1 idle.
@@ -109,7 +119,22 @@ func TestPickHostPrefersIdleHost(t *testing.T) {
 	}
 }
 
-func smallFleet(policy Policy, workers int) FleetConfig {
+func TestNewHostRejectsBadConfig(t *testing.T) {
+	if _, err := NewHost(0, HostConfig{PCPUs: 0, Policy: staticPolicy{}}); err == nil {
+		t.Fatal("NewHost with 0 pCPUs: want error")
+	}
+	if _, err := NewHost(0, HostConfig{PCPUs: -3, Policy: staticPolicy{}}); err == nil {
+		t.Fatal("NewHost with negative pCPUs: want error")
+	}
+	if _, err := NewHost(0, HostConfig{PCPUs: 4}); err == nil {
+		t.Fatal("NewHost without a policy: want error")
+	}
+	if _, err := NewHost(0, HostConfig{PCPUs: 4, Policy: hotplugPolicy{}}); err != nil {
+		t.Fatalf("NewHost with the hotplug mechanism: %v", err)
+	}
+}
+
+func smallFleet(policy string, workers int) FleetConfig {
 	return FleetConfig{
 		Hosts:        2,
 		PCPUsPerHost: 4,
@@ -124,7 +149,7 @@ func smallFleet(policy Policy, workers int) FleetConfig {
 }
 
 func TestRunFleetSmoke(t *testing.T) {
-	cfg := smallFleet(PolicyVScale, 0)
+	cfg := smallFleet("vscale", 0)
 	tcfg := DefaultTraceConfig(cfg.Horizon)
 	events := GenTrace(tcfg, cfg.Seed)
 	res, err := RunFleet(cfg, events)
@@ -161,10 +186,20 @@ func TestRunFleetSmoke(t *testing.T) {
 	if res.Reconfigs == 0 {
 		t.Fatal("vScale fleet under churn should reconfigure at least once")
 	}
+	if res.CostVCPUSeconds <= 0 {
+		t.Fatal("provisioned cost missing")
+	}
+}
+
+func TestRunFleetRejectsUnknownPolicy(t *testing.T) {
+	cfg := smallFleet("no-such-policy", 0)
+	if _, err := RunFleet(cfg, nil); err == nil || !strings.Contains(err.Error(), "unknown policy") {
+		t.Fatalf("RunFleet with unknown policy: got %v", err)
+	}
 }
 
 func TestRunFleetSerialParallelIdentical(t *testing.T) {
-	for _, policy := range []Policy{PolicyStatic, PolicyHotplug, PolicyVScale} {
+	for _, policy := range PolicyNames() {
 		cfg1 := smallFleet(policy, 1)
 		cfg8 := smallFleet(policy, 8)
 		events := GenTrace(DefaultTraceConfig(cfg1.Horizon), cfg1.Seed)
@@ -179,22 +214,22 @@ func TestRunFleetSerialParallelIdentical(t *testing.T) {
 		// Histograms don't compare with reflect through pointers; check
 		// the moments, then drop them for the full struct comparison.
 		if r1.Hist.String() != r8.Hist.String() || r1.Hist.Sum() != r8.Hist.Sum() {
-			t.Fatalf("%v: histograms differ across worker counts", policy)
+			t.Fatalf("%s: histograms differ across worker counts", policy)
 		}
 		r1.Hist, r8.Hist = nil, nil
 		if !reflect.DeepEqual(r1, r8) {
-			t.Fatalf("%v: results differ across worker counts:\n1: %+v\n8: %+v", policy, r1, r8)
+			t.Fatalf("%s: results differ across worker counts:\n1: %+v\n8: %+v", policy, r1, r8)
 		}
 	}
 }
 
 func TestPoliciesShareChurnButDiverge(t *testing.T) {
 	events := GenTrace(DefaultTraceConfig(3*sim.Second), 11)
-	static, err := RunFleet(smallFleet(PolicyStatic, 0), events)
+	static, err := RunFleet(smallFleet("static", 0), events)
 	if err != nil {
 		t.Fatal(err)
 	}
-	vsc, err := RunFleet(smallFleet(PolicyVScale, 0), events)
+	vsc, err := RunFleet(smallFleet("vscale", 0), events)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -20,8 +20,11 @@ type FleetConfig struct {
 	Hosts int
 	// PCPUsPerHost sizes each host's domU pool.
 	PCPUsPerHost int
-	// Policy is the fleet-wide VM scaling policy.
-	Policy Policy
+	// Policy names the fleet-wide VM scaling policy; RunFleet
+	// instantiates a fresh instance from the registry (see
+	// RegisterPolicy), so stateful controllers never leak state across
+	// runs.
+	Policy string
 	// Seed derives every host's engine seed (runner.DeriveSeed per host
 	// index), so fleets with the same seed are reproducible regardless
 	// of worker count.
@@ -62,7 +65,7 @@ type Placement struct {
 
 // FleetResult aggregates one fleet run.
 type FleetResult struct {
-	Policy Policy
+	Policy string
 	Hosts  int
 
 	// Placed/Departed/PhaseChanges count processed churn events.
@@ -77,8 +80,18 @@ type FleetResult struct {
 	// Attainment is the fleet-wide SLO attainment over offered requests.
 	Attainment float64
 
-	// Reconfigs counts scaling actions taken by the per-VM daemons.
+	// Reconfigs counts scaling actions: freeze/unfreeze (or hotplug)
+	// operations taken by the per-VM daemons plus those applied by the
+	// control plane's policy.
 	Reconfigs uint64
+	// CostVCPUSeconds is the provisioned cost of the run: the integral
+	// of every VM's active (unfrozen) vCPU count over its lifetime
+	// within the churn horizon, in vCPU-seconds. Together with
+	// Attainment it places the policy on the cost-vs-attainment
+	// frontier. In-flight requests at the end of the run count against
+	// Attainment (see loadgen.Stats) but never add cost: a retired VM's
+	// meter stops at departure even while its stragglers drain.
+	CostVCPUSeconds float64
 	// AvgHostUtil is the mean pCPU busy fraction across hosts.
 	AvgHostUtil float64
 	// CentralSweep is what one end-of-run central monitoring pass over
@@ -116,6 +129,13 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 			return FleetResult{}, fmt.Errorf("cluster: churn trace not sorted at event %d", i)
 		}
 	}
+	// One fresh policy instance per run, shared by every host: Decide is
+	// only ever called from the single-threaded control plane, and
+	// stateful controllers key their memory per VM name.
+	pol, err := NewPolicy(cfg.Policy)
+	if err != nil {
+		return FleetResult{}, err
+	}
 
 	hosts := make([]*Host, cfg.Hosts)
 	for i := range hosts {
@@ -123,13 +143,17 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 		if cfg.Tracers != nil {
 			tr = cfg.Tracers[i]
 		}
-		hosts[i] = NewHost(i, HostConfig{
+		h, err := NewHost(i, HostConfig{
 			PCPUs:  cfg.PCPUsPerHost,
 			Seed:   runner.DeriveSeed(cfg.Seed, i),
-			Policy: cfg.Policy,
+			Policy: pol,
 			SLO:    cfg.SLO,
 			Tracer: tr,
 		})
+		if err != nil {
+			return FleetResult{}, err
+		}
+		hosts[i] = h
 	}
 
 	res := FleetResult{Policy: cfg.Policy, Hosts: cfg.Hosts}
@@ -192,6 +216,18 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 			stats[i] = h.Snapshot(end - start)
 		}
 		collectTelemetry(cfg.Telemetry, end, hosts, &res, cfg.SLO)
+		// Policy pass: every live VM is observed and decided on in host
+		// order then admission order, while all engines are parked at the
+		// boundary. Daemon-driven policies return 0 (their in-guest
+		// mechanism is already steering); a positive target is applied
+		// through the guest balancer and takes effect next epoch.
+		for _, h := range hosts {
+			for _, o := range h.Observations(end - start) {
+				if target := pol.Decide(o); target > 0 {
+					h.ApplyTarget(o.VM, target)
+				}
+			}
+		}
 	}
 
 	// Horizon reached: stop all load and drain in-flight requests.
@@ -213,6 +249,7 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 	for i, h := range hosts {
 		util += h.Util()
 		vmsPerHost[i] = len(h.order)
+		res.CostVCPUSeconds += h.ProvisionedVCPUSeconds()
 		for _, name := range h.order {
 			vm := h.vms[name]
 			addStats(&res.Load, vm.gen.Stats())
@@ -220,7 +257,7 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 				return res, err
 			}
 			_, decisions := vm.k.DaemonStats()
-			res.Reconfigs += decisions
+			res.Reconfigs += decisions + vm.policyOps
 		}
 	}
 	res.Attainment = res.Load.Attainment()

@@ -15,36 +15,9 @@ import (
 	"vscale/internal/xen"
 )
 
-// Policy selects how each VM of the fleet resizes itself.
-type Policy int
-
-// Fleet scaling policies, in the order the cluster experiment reports
-// them.
-const (
-	// PolicyStatic never resizes: every VM keeps all its vCPUs online
-	// (unmodified Xen/Linux).
-	PolicyStatic Policy = iota
-	// PolicyHotplug resizes through the dom0 toolstack: each
-	// reconfiguration pays a dom0 monitoring sweep over the host's VMs,
-	// a XenStore write and the guest CPU-hotplug latency (VCPU-Bal).
-	PolicyHotplug
-	// PolicyVScale resizes through the vScale channel and balancer
-	// (the paper's system).
-	PolicyVScale
-)
-
-func (p Policy) String() string {
-	switch p {
-	case PolicyStatic:
-		return "static"
-	case PolicyHotplug:
-		return "hotplug"
-	case PolicyVScale:
-		return "vscale"
-	default:
-		return fmt.Sprintf("Policy(%d)", int(p))
-	}
-}
+// hotplugModelVersion is the CPU-hotplug latency model hotplug-mechanism
+// policies reconfigure through.
+const hotplugModelVersion = "v-3.14.15"
 
 // HostConfig parameterises one host of the fleet.
 type HostConfig struct {
@@ -52,8 +25,9 @@ type HostConfig struct {
 	PCPUs int
 	// Seed drives the host's engine and everything derived from it.
 	Seed uint64
-	// Policy is the VM scaling policy (shared fleet-wide).
-	Policy Policy
+	// Policy is the fleet-wide VM scaling policy instance; the host
+	// configures each VM's guest plumbing from Policy.Mechanism().
+	Policy ScalingPolicy
 	// SLO is the per-request latency objective for every VM's load.
 	SLO sim.Time
 	// Tracer, when non-nil, records the host's scheduling events.
@@ -70,9 +44,17 @@ type hostVM struct {
 	gen   *loadgen.Generator
 
 	// lastConsumed checkpoints dom.TotalRunTime at the last snapshot so
-	// per-epoch consumption is a simple delta.
-	lastConsumed sim.Time
-	retired      bool
+	// per-epoch consumption is a simple delta; epochConsumed keeps the
+	// latest delta for the policy observation.
+	lastConsumed  sim.Time
+	epochConsumed sim.Time
+	// policyOps counts freeze/unfreeze actions applied by the control
+	// plane's policy (ApplyTarget), the epoch-driven counterpart of the
+	// daemon's Decisions counter.
+	policyOps uint64
+	// cost freezes the VM's provisioned vCPU-seconds at retirement.
+	cost    float64
+	retired bool
 }
 
 // Host is one Xen host of the fleet: a private engine, a domU pool, a
@@ -84,6 +66,7 @@ type hostVM struct {
 type Host struct {
 	id      int
 	cfg     HostConfig
+	mech    Mechanism
 	eng     *sim.Engine
 	pool    *xen.Pool
 	d0      *dom0.Dom0
@@ -97,28 +80,41 @@ type Host struct {
 	err error
 }
 
-// NewHost builds an idle host.
-func NewHost(id int, cfg HostConfig) *Host {
+// NewHost builds an idle host. It rejects a non-positive pool size and
+// a missing policy, and a hotplug-mechanism policy whose latency model
+// is absent — misconfigurations a fleet caller should see as errors,
+// not panics.
+func NewHost(id int, cfg HostConfig) (*Host, error) {
 	if cfg.PCPUs <= 0 {
-		panic("cluster: host needs at least one pCPU")
+		return nil, fmt.Errorf("cluster: host %d: need at least one pCPU, got %d", id, cfg.PCPUs)
+	}
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("cluster: host %d: needs a scaling policy", id)
+	}
+	mech := cfg.Policy.Mechanism()
+	var model costmodel.HotplugModel
+	if mech.Hotplug {
+		m, ok := costmodel.HotplugModelFor(hotplugModelVersion)
+		if !ok {
+			return nil, fmt.Errorf("cluster: host %d: hotplug model %s missing", id, hotplugModelVersion)
+		}
+		model = m
 	}
 	eng := sim.NewEngine(cfg.Seed)
 	if cfg.Tracer != nil {
 		eng.SetObserver(cfg.Tracer.SimEvent)
 	}
 	xcfg := xen.DefaultConfig(cfg.PCPUs)
-	// Hotplug needs the extendability channel too: VCPU-Bal reads the
-	// same utilisation signal, it only reconfigures through dom0.
-	xcfg.VScale = cfg.Policy != PolicyStatic
+	// The extendability channel feeds any daemon-driven mechanism:
+	// hotplug (VCPU-Bal) reads the same utilisation signal as vScale, it
+	// only reconfigures through dom0.
+	xcfg.VScale = mech.Channel
 	pool := xen.NewPool(eng, xcfg)
 	pool.SetTracer(cfg.Tracer)
-	model, ok := costmodel.HotplugModelFor("v-3.14.15")
-	if !ok {
-		panic("cluster: hotplug model v-3.14.15 missing")
-	}
 	h := &Host{
 		id:      id,
 		cfg:     cfg,
+		mech:    mech,
 		eng:     eng,
 		pool:    pool,
 		d0:      dom0.New(dom0.DefaultConfig(), sim.NewRand(cfg.Seed^0x5bd1e995)),
@@ -126,7 +122,7 @@ func NewHost(id int, cfg HostConfig) *Host {
 		vms:     map[string]*hostVM{},
 	}
 	pool.Start()
-	return h
+	return h, nil
 }
 
 // Engine exposes the host's private engine (tests and the fleet loop).
@@ -184,7 +180,7 @@ func (h *Host) ScheduleRemove(ev Event) {
 }
 
 // addVM boots a VM at the current engine time: a domain weighted per
-// vCPU, a guest kernel running the policy's scaling daemon, an httpd
+// vCPU, a guest kernel wired per the policy's mechanism, an httpd
 // server and its open-loop load generator.
 func (h *Host) addVM(name string, vcpus int, rate float64, seed uint64) error {
 	if _, dup := h.vms[name]; dup {
@@ -197,8 +193,8 @@ func (h *Host) addVM(name string, vcpus int, rate float64, seed uint64) error {
 
 	gcfg := guest.DefaultConfig()
 	gcfg.Seed = seed
-	gcfg.VScale.Enabled = h.cfg.Policy != PolicyStatic
-	if h.cfg.Policy == PolicyHotplug {
+	gcfg.VScale.Enabled = h.mech.Daemon
+	if h.mech.Hotplug {
 		// The dom0 reconfiguration path: each resize first re-reads the
 		// stats of every VM on this host through libxl (the per-host
 		// monitoring sweep), then pays the XenStore write and the guest
@@ -233,10 +229,11 @@ func (h *Host) addVM(name string, vcpus int, rate float64, seed uint64) error {
 	return nil
 }
 
-// removeVM retires a VM: its load stops, its scaling daemon halts, and
-// its accounting is frozen out of future placement stats. The domain
-// object stays in the pool (idle) — the simulation has no domain
-// destruction, and an idle domain consumes no CPU.
+// removeVM retires a VM: its load stops, its scaling daemon halts, its
+// provisioned cost is checkpointed, and its accounting is frozen out of
+// future placement stats. The domain object stays in the pool (idle) —
+// the simulation has no domain destruction, and an idle domain consumes
+// no CPU.
 func (h *Host) removeVM(name string) {
 	vm, ok := h.vms[name]
 	if !ok || vm.retired {
@@ -244,6 +241,7 @@ func (h *Host) removeVM(name string) {
 	}
 	vm.gen.Stop()
 	vm.k.StopDaemon()
+	vm.cost = vm.k.ActiveVCPUSeconds()
 	vm.retired = true
 }
 
@@ -291,6 +289,7 @@ func (h *Host) Snapshot(epoch sim.Time) []core.VMStat {
 		vm := h.vms[name]
 		consumed := vm.dom.TotalRunTime - vm.lastConsumed
 		vm.lastConsumed = vm.dom.TotalRunTime
+		vm.epochConsumed = consumed
 		if vm.retired {
 			continue
 		}
@@ -305,6 +304,105 @@ func (h *Host) Snapshot(epoch sim.Time) []core.VMStat {
 		})
 	}
 	return stats
+}
+
+// Observations builds the per-VM policy observations for the epoch that
+// just ended, in admission order. It consumes each live VM's load
+// window (loadgen.TakeWindow), so the control plane calls it exactly
+// once per epoch, after Snapshot has refreshed the consumption deltas.
+// Building observations reads accounting only — no RNG draws, no engine
+// events — so policies observing the fleet cannot perturb it.
+func (h *Host) Observations(epoch sim.Time) []VMObservation {
+	obs := make([]VMObservation, 0, len(h.order))
+	for _, name := range h.order {
+		vm := h.vms[name]
+		if vm.retired {
+			continue
+		}
+		w, hist := vm.gen.TakeWindow()
+		o := VMObservation{
+			VM:          name,
+			Host:        h.id,
+			Epoch:       epoch,
+			MaxVCPUs:    vm.vcpus,
+			ActiveVCPUs: vm.k.ActiveVCPUs(),
+			HostPCPUs:   h.cfg.PCPUs,
+			ConsumedCPU: vm.epochConsumed,
+			OfferedRPS:  vm.gen.Rate(),
+			Offered:     w.Offered,
+			Replies:     w.Replies,
+			Errors:      w.Errors,
+			InFlight:    w.InFlight,
+			Attainment:  w.Attainment(),
+			SLO:         h.cfg.SLO,
+		}
+		if w.Replies > 0 {
+			o.P50 = hist.Quantile(0.5)
+			o.P95 = hist.Quantile(0.95)
+			o.P99 = hist.Quantile(0.99)
+		}
+		obs = append(obs, o)
+	}
+	return obs
+}
+
+// ApplyTarget resizes a VM to target active vCPUs through the guest
+// balancer, exactly as the in-guest daemon would: freeze the
+// highest-numbered active vCPUs, unfreeze the lowest-numbered frozen
+// ones. The control plane calls it between epochs while the engine is
+// parked; the freeze/unfreeze IPIs it raises are zero-delay events that
+// fire first thing next epoch. The target is clamped to [1, MaxVCPUs];
+// matching the current count is a no-op.
+func (h *Host) ApplyTarget(name string, target int) {
+	vm, ok := h.vms[name]
+	if !ok || vm.retired {
+		return
+	}
+	k := vm.k
+	target = clampVCPUs(target, vm.vcpus)
+	for k.ActiveVCPUs() > target {
+		victim := -1
+		for i := k.NCPUs() - 1; i >= 1; i-- {
+			if !k.Frozen(i) {
+				victim = i
+				break
+			}
+		}
+		if victim < 0 || k.FreezeVCPU(victim) != nil {
+			return
+		}
+		vm.policyOps++
+	}
+	for k.ActiveVCPUs() < target {
+		cand := -1
+		for i := 1; i < k.NCPUs(); i++ {
+			if k.Frozen(i) {
+				cand = i
+				break
+			}
+		}
+		if cand < 0 || k.UnfreezeVCPU(cand) != nil {
+			return
+		}
+		vm.policyOps++
+	}
+}
+
+// ProvisionedVCPUSeconds returns the host's provisioned cost so far:
+// the integral of each VM's active (unfrozen) vCPU count over its
+// lifetime, in vCPU-seconds. A retired VM's cost is frozen at its
+// departure, so post-horizon drain time is never billed.
+func (h *Host) ProvisionedVCPUSeconds() float64 {
+	total := 0.0
+	for _, name := range h.order {
+		vm := h.vms[name]
+		if vm.retired {
+			total += vm.cost
+		} else {
+			total += vm.k.ActiveVCPUSeconds()
+		}
+	}
+	return total
 }
 
 // Util returns the host's pCPU busy fraction up to now.

@@ -1,0 +1,242 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"vscale/internal/sim"
+)
+
+// VMObservation is one VM's per-epoch snapshot, the input to
+// ScalingPolicy.Decide. It combines the CPU-demand signals the paper's
+// policies act on (consumed vCPU-time) with the application signals
+// the feedback-control policies close the loop on (reply-latency
+// quantiles, SLO attainment) — all sampled by the control plane while
+// the host engines are parked at the epoch boundary.
+//
+// The latency fields come from the load generator's epoch window (the
+// delta since the previous epoch), not from cumulative counters, so a
+// controller sees the system's current behaviour rather than its
+// lifetime average.
+type VMObservation struct {
+	// VM names the VM (unique fleet-wide); Host is its host index.
+	VM   string
+	Host int
+	// Epoch is the control-plane period the window spans.
+	Epoch sim.Time
+
+	// MaxVCPUs is the VM's provisioned vCPU ceiling; ActiveVCPUs is how
+	// many are currently unfrozen; HostPCPUs is the host's pool size.
+	MaxVCPUs    int
+	ActiveVCPUs int
+	HostPCPUs   int
+
+	// ConsumedCPU is the vCPU-time the VM consumed this epoch (the
+	// demand signal: ConsumedCPU/Epoch is the vCPU-count it actually
+	// used).
+	ConsumedCPU sim.Time
+	// OfferedRPS is the generator's current offered request rate.
+	OfferedRPS float64
+
+	// Offered/Replies/Errors count this epoch's requests; InFlight is
+	// the point-in-time backlog (offered but not yet terminal) at the
+	// epoch boundary — a leading overload indicator.
+	Offered, Replies, Errors uint64
+	InFlight                 uint64
+	// P50/P95/P99 are this epoch's reply-latency quantiles in
+	// milliseconds (zero when nothing was delivered this epoch).
+	P50, P95, P99 float64
+	// Attainment is this epoch's SLO attainment over offered requests.
+	Attainment float64
+	// SLO is the per-request latency objective.
+	SLO sim.Time
+}
+
+// Mechanism describes the guest-side plumbing a policy relies on; the
+// host configures each VM from it at boot.
+type Mechanism struct {
+	// Channel enables the hypervisor's vScale extendability channel
+	// (periodic Algorithm-1 recalculation) for the VM's domain.
+	Channel bool
+	// Daemon runs the in-guest scaling daemon (it polls the channel
+	// every 10 ms and resizes the VM itself; Decide is then advisory
+	// and built-in daemon policies return 0 from it).
+	Daemon bool
+	// Hotplug routes the daemon's resizes through the dom0 toolstack
+	// (libxl stats sweep + XenStore write + guest CPU hotplug) instead
+	// of the vScale balancer.
+	Hotplug bool
+}
+
+// ScalingPolicy decides how each VM of a fleet resizes. One instance
+// is created per fleet run (RunFleet instantiates it from the registry
+// by name), so a policy may keep per-VM controller state across
+// epochs.
+//
+// Every method is called from the single-threaded control plane, never
+// from host engine callbacks, and Decide is called for every
+// non-retired VM every epoch in host-index then VM-admission order —
+// a policy must derive its decisions only from the observations it is
+// handed (no clocks, no global RNG) to preserve the fleet's
+// byte-identical determinism across worker counts.
+type ScalingPolicy interface {
+	// Name returns the registry key (also the report label).
+	Name() string
+	// Mechanism reports the guest-side plumbing the policy needs.
+	Mechanism() Mechanism
+	// Decide returns the VM's target active-vCPU count for the next
+	// epoch, clamped by the caller to [1, MaxVCPUs]. Returning 0 (or
+	// any non-positive value) means "no decision": the VM keeps its
+	// current size and the policy's mechanism (if any) stays in charge.
+	Decide(obs VMObservation) int
+}
+
+// policyName implements the Name/String half of ScalingPolicy so the
+// built-ins stay one-liner structs; String makes every policy print as
+// its registry key (the enum the registry replaced printed the same).
+type policyName string
+
+func (n policyName) Name() string   { return string(n) }
+func (n policyName) String() string { return string(n) }
+
+// ---------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------
+
+// PolicyFactory builds a fresh policy instance for one fleet run.
+type PolicyFactory func() ScalingPolicy
+
+var policyRegistry = struct {
+	sync.Mutex
+	names     []string // registration order (the report order)
+	factories map[string]PolicyFactory
+}{factories: map[string]PolicyFactory{}}
+
+// RegisterPolicy adds a policy under name. Registering an empty or
+// duplicate name is an error: a duplicate would silently shadow an
+// existing contender in every experiment keyed by name.
+func RegisterPolicy(name string, f PolicyFactory) error {
+	if name == "" {
+		return fmt.Errorf("cluster: policy name must be non-empty")
+	}
+	if strings.ContainsAny(name, ", \t\n") {
+		return fmt.Errorf("cluster: policy name %q must not contain commas or spaces", name)
+	}
+	if f == nil {
+		return fmt.Errorf("cluster: policy %q needs a factory", name)
+	}
+	policyRegistry.Lock()
+	defer policyRegistry.Unlock()
+	if _, dup := policyRegistry.factories[name]; dup {
+		return fmt.Errorf("cluster: policy %q already registered", name)
+	}
+	policyRegistry.factories[name] = f
+	policyRegistry.names = append(policyRegistry.names, name)
+	return nil
+}
+
+// mustRegisterPolicy registers the built-ins at init.
+func mustRegisterPolicy(name string, f PolicyFactory) {
+	if err := RegisterPolicy(name, f); err != nil {
+		panic(err)
+	}
+}
+
+// PolicyNames lists the registered policy names in registration order:
+// the built-ins first (static, hotplug, vscale, pid, predictive), then
+// external registrations.
+func PolicyNames() []string {
+	policyRegistry.Lock()
+	defer policyRegistry.Unlock()
+	return append([]string(nil), policyRegistry.names...)
+}
+
+// NewPolicy instantiates a fresh policy by registry name. An unknown
+// name yields an error listing every registered name.
+func NewPolicy(name string) (ScalingPolicy, error) {
+	policyRegistry.Lock()
+	f, ok := policyRegistry.factories[name]
+	policyRegistry.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("cluster: unknown policy %q (known: %s)",
+			name, strings.Join(PolicyNames(), ", "))
+	}
+	return f(), nil
+}
+
+// ParsePolicies parses a comma-separated policy selection as the CLIs'
+// -policies flag accepts it: "all" (or the empty string) selects every
+// registered policy in registration order; otherwise each name must be
+// registered, and duplicates are rejected.
+func ParsePolicies(s string) ([]string, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "all" {
+		return PolicyNames(), nil
+	}
+	var out []string
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		if _, err := NewPolicy(name); err != nil {
+			return nil, err
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("cluster: policy %q selected twice", name)
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("cluster: empty policy selection")
+	}
+	return out, nil
+}
+
+func init() {
+	// Registration order is the canonical report order.
+	mustRegisterPolicy("static", func() ScalingPolicy { return staticPolicy{} })
+	mustRegisterPolicy("hotplug", func() ScalingPolicy { return hotplugPolicy{} })
+	mustRegisterPolicy("vscale", func() ScalingPolicy { return vscalePolicy{} })
+	mustRegisterPolicy("pid", func() ScalingPolicy { return NewPIDPolicy(DefaultPIDConfig()) })
+	mustRegisterPolicy("predictive", func() ScalingPolicy { return NewPredictivePolicy(DefaultPredictiveConfig()) })
+}
+
+// ---------------------------------------------------------------------
+// The paper's three policies as registry entries
+// ---------------------------------------------------------------------
+
+// staticPolicy never resizes: every VM keeps all its vCPUs online
+// (unmodified Xen/Linux).
+type staticPolicy struct{}
+
+func (staticPolicy) Name() string             { return "static" }
+func (staticPolicy) String() string           { return "static" }
+func (staticPolicy) Mechanism() Mechanism     { return Mechanism{} }
+func (staticPolicy) Decide(VMObservation) int { return 0 }
+
+// hotplugPolicy resizes through the dom0 toolstack: the in-guest
+// daemon reads the same utilisation signal as vScale, but each
+// reconfiguration pays a dom0 monitoring sweep over the host's VMs, a
+// XenStore write and the guest CPU-hotplug latency (VCPU-Bal).
+type hotplugPolicy struct{}
+
+func (hotplugPolicy) Name() string   { return "hotplug" }
+func (hotplugPolicy) String() string { return "hotplug" }
+func (hotplugPolicy) Mechanism() Mechanism {
+	return Mechanism{Channel: true, Daemon: true, Hotplug: true}
+}
+func (hotplugPolicy) Decide(VMObservation) int { return 0 }
+
+// vscalePolicy resizes through the vScale channel and balancer (the
+// paper's system): the in-guest daemon polls CPU extendability every
+// 10 ms and freezes/unfreezes vCPUs at µs cost.
+type vscalePolicy struct{}
+
+func (vscalePolicy) Name() string             { return "vscale" }
+func (vscalePolicy) String() string           { return "vscale" }
+func (vscalePolicy) Mechanism() Mechanism     { return Mechanism{Channel: true, Daemon: true} }
+func (vscalePolicy) Decide(VMObservation) int { return 0 }

@@ -56,6 +56,9 @@ func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res
 			"vScale extendability recalculations on the host.", "host", host).Set(float64(h.pool.VScaleTicks))
 		reg.CounterSeries("vscale_host_engine_events_total",
 			"Simulation events processed by the host's engine.", "host", host).Set(float64(h.eng.Processed))
+		reg.CounterSeries("vscale_host_provisioned_vcpu_seconds_total",
+			"Provisioned cost of the host's VMs: integral of active vCPUs over each VM's lifetime.",
+			"host", host).Set(h.ProvisionedVCPUSeconds())
 
 		var switches uint64
 		runq := 0
@@ -106,7 +109,7 @@ func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res
 				addStats(&load, st)
 				_ = fleetHist.Merge(vm.gen.Hist())
 				_, decisions := vm.k.DaemonStats()
-				reconfigs += decisions
+				reconfigs += decisions + vm.policyOps
 				continue
 			}
 
@@ -129,9 +132,13 @@ func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res
 				"Summed credit-scheduler balance of the VM's vCPUs, virtual ns.", labels...).Set(float64(credits))
 
 			_, decisions := vm.k.DaemonStats()
-			reconfigs += decisions
+			reconfigs += decisions + vm.policyOps
 			reg.CounterSeries("vscale_vm_reconfigs_total",
-				"Scaling actions taken by the VM's daemon.", labels...).Set(float64(decisions))
+				"Scaling actions taken by the VM's daemon or the control-plane policy.",
+				labels...).Set(float64(decisions + vm.policyOps))
+			reg.CounterSeries("vscale_vm_provisioned_vcpu_seconds_total",
+				"Provisioned cost of the VM: integral of its active vCPU count since boot.",
+				labels...).Set(vm.k.ActiveVCPUSeconds())
 
 			st := vm.gen.Stats()
 			addStats(&load, st)
@@ -160,6 +167,12 @@ func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res
 		"Errors across the whole fleet.").Set(float64(load.Errors))
 	reg.CounterSeries("vscale_fleet_reconfigs_total",
 		"Scaling actions taken across every VM of the fleet.").Set(float64(reconfigs))
+	var cost float64
+	for _, h := range hosts {
+		cost += h.ProvisionedVCPUSeconds()
+	}
+	reg.CounterSeries("vscale_fleet_provisioned_vcpu_seconds_total",
+		"Provisioned cost across the whole fleet, vCPU-seconds.").Set(cost)
 	reg.GaugeSeries("vscale_fleet_slo_attainment_ratio",
 		"Fraction of offered requests answered within the SLO so far.").Set(load.Attainment())
 	reg.GaugeSeries("vscale_fleet_slo_ms",
@@ -179,4 +192,5 @@ func addStats(s *loadgen.Stats, o loadgen.Stats) {
 	s.Errors += o.Errors
 	s.SLOOk += o.SLOOk
 	s.SLOTotal += o.SLOTotal
+	s.InFlight += o.InFlight
 }

@@ -25,7 +25,7 @@ func runTelemetryFleet(t *testing.T, workers int, seed uint64) (FleetResult, str
 	cfg := FleetConfig{
 		Hosts:        2,
 		PCPUsPerHost: 4,
-		Policy:       PolicyVScale,
+		Policy:       "vscale",
 		Seed:         seed,
 		Horizon:      3 * sim.Second,
 		SLO:          30 * sim.Millisecond,
@@ -79,7 +79,7 @@ func TestFleetTelemetryZeroObserverEffect(t *testing.T) {
 		cfg := FleetConfig{
 			Hosts:        2,
 			PCPUsPerHost: 4,
-			Policy:       PolicyHotplug,
+			Policy:       "hotplug",
 			Seed:         5,
 			Horizon:      3 * sim.Second,
 			SLO:          30 * sim.Millisecond,
@@ -117,7 +117,7 @@ func TestFleetTelemetryScrape(t *testing.T) {
 	cfg := FleetConfig{
 		Hosts:        1,
 		PCPUsPerHost: 4,
-		Policy:       PolicyStatic,
+		Policy:       "static",
 		Seed:         3,
 		Horizon:      2 * sim.Second,
 		SLO:          30 * sim.Millisecond,

@@ -13,11 +13,6 @@ import (
 	"vscale/internal/trace"
 )
 
-// ClusterPolicies is the reporting order of the cluster experiment:
-// the no-scaling baseline first, then the dom0 hotplug path, then
-// vScale.
-var ClusterPolicies = []cluster.Policy{cluster.PolicyStatic, cluster.PolicyHotplug, cluster.PolicyVScale}
-
 // ClusterResult is the cluster experiment's output: one fleet run per
 // (host count, policy), every policy of a host count driven by the
 // same churn trace.
@@ -26,30 +21,38 @@ type ClusterResult struct {
 	PCPUsPerHost int
 	Horizon      sim.Time
 	SLO          sim.Time
-	// Fleets maps host count → one FleetResult per ClusterPolicies entry.
+	// Policies is the reporting order (the registry selection the runs
+	// were made with).
+	Policies []string
+	// Fleets maps host count → one FleetResult per Policies entry.
 	Fleets map[int][]cluster.FleetResult
 }
 
 // Cluster runs the multi-host churn experiment: for each host count, a
 // churn trace is generated once (seeded from opts.BaseSeed and the
-// host count) and replayed under every scaling policy, so the policies
-// compete on identical VM lifecycles and the tail-latency differences
-// are attributable to scaling alone. Fleets run one after another;
-// each fleet fans its hosts across opts.Workers.
+// host count) and replayed under every selected scaling policy, so the
+// policies compete on identical VM lifecycles and the tail-latency and
+// cost differences are attributable to scaling alone. policies names
+// registry entries (cluster.PolicyNames order when empty). Fleets run
+// one after another; each fleet fans its hosts across opts.Workers.
 //
 // sink (which may be nil) receives live per-epoch telemetry: each
 // fleet gets its own collector labelled policy=<p>,hosts=<n>, appending
 // JSONL records in fleet order from the control plane's goroutine, so
 // the stream is byte-identical for any worker count.
-func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus int, horizon, slo sim.Time) (ClusterResult, error) {
+func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus int, horizon, slo sim.Time, policies []string) (ClusterResult, error) {
 	if len(hostCounts) == 0 {
 		return ClusterResult{}, fmt.Errorf("cluster: no host counts")
+	}
+	if len(policies) == 0 {
+		policies = cluster.PolicyNames()
 	}
 	out := ClusterResult{
 		HostCounts:   hostCounts,
 		PCPUsPerHost: pcpus,
 		Horizon:      horizon,
 		SLO:          slo,
+		Policies:     policies,
 		Fleets:       map[int][]cluster.FleetResult{},
 	}
 	for _, hc := range hostCounts {
@@ -63,9 +66,9 @@ func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus 
 		traceSeed := runner.DeriveSeed(opts.BaseSeed, hc)
 		events := cluster.GenTrace(tcfg, traceSeed)
 
-		for _, policy := range ClusterPolicies {
+		for _, policy := range policies {
 			col := telemetry.NewCollector(sink, false,
-				"policy", policy.String(), "hosts", strconv.Itoa(hc))
+				"policy", policy, "hosts", strconv.Itoa(hc))
 			fcfg := cluster.FleetConfig{
 				Hosts:        hc,
 				PCPUsPerHost: pcpus,
@@ -85,10 +88,10 @@ func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus 
 			}
 			res, err := cluster.RunFleet(fcfg, events)
 			if err != nil {
-				return out, fmt.Errorf("cluster: %d hosts, %v: %w", hc, policy, err)
+				return out, fmt.Errorf("cluster: %d hosts, %s: %w", hc, policy, err)
 			}
 			if err := col.Err(); err != nil {
-				return out, fmt.Errorf("cluster: %d hosts, %v: %w", hc, policy, err)
+				return out, fmt.Errorf("cluster: %d hosts, %s: %w", hc, policy, err)
 			}
 			out.Fleets[hc] = append(out.Fleets[hc], res)
 			if opts.Trace && opts.Report != nil {
@@ -97,7 +100,7 @@ func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus 
 				// the report like any other run's.
 				labels := make([]string, hc)
 				for i := range labels {
-					labels[i] = fmt.Sprintf("%dh-%v-host%d", hc, policy, i)
+					labels[i] = fmt.Sprintf("%dh-%s-host%d", hc, policy, i)
 				}
 				opts.Report.Tracers = append(opts.Report.Tracers,
 					trace.MergeLabeled(labels, fcfg.Tracers...))
@@ -107,22 +110,61 @@ func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus 
 	return out, nil
 }
 
-// Render produces one table per host count plus the central-monitoring
-// footnote.
+// paretoEfficient marks, per fleet, whether no other fleet of the same
+// set both costs no more and attains no less (with one strict): the
+// cost-vs-attainment frontier.
+func paretoEfficient(fleets []cluster.FleetResult) []bool {
+	eff := make([]bool, len(fleets))
+	for i, f := range fleets {
+		eff[i] = true
+		for j, g := range fleets {
+			if j == i {
+				continue
+			}
+			if g.CostVCPUSeconds <= f.CostVCPUSeconds && g.Attainment >= f.Attainment &&
+				(g.CostVCPUSeconds < f.CostVCPUSeconds || g.Attainment > f.Attainment) {
+				eff[i] = false
+				break
+			}
+		}
+	}
+	return eff
+}
+
+// Metrics flattens the per-fleet cost and attainment into benchmark
+// keys ("<hosts>h/<policy>/cost_vcpu_seconds", ".../attainment") for
+// BENCH_cluster.json.
+func (r ClusterResult) Metrics() map[string]float64 {
+	m := map[string]float64{}
+	for _, hc := range r.HostCounts {
+		for _, f := range r.Fleets[hc] {
+			prefix := fmt.Sprintf("%dh/%s/", hc, f.Policy)
+			m[prefix+"cost_vcpu_seconds"] = f.CostVCPUSeconds
+			m[prefix+"attainment"] = f.Attainment
+		}
+	}
+	return m
+}
+
+// Render produces one table per host count, the cost-vs-attainment
+// frontier per host count, and the central-monitoring footnote.
 func (r ClusterResult) Render() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%d pCPUs/host, %v churn horizon, SLO: reply within %v\n",
 		r.PCPUsPerHost, r.Horizon, r.SLO)
 	sb.WriteString("p50/p95/p99 are reply latencies in ms; SLO% counts requests answered\n")
-	sb.WriteString("within the SLO over all offered requests (in-flight and dropped count\n")
-	sb.WriteString("as misses); reconfigs are per-VM scaling actions.\n")
+	sb.WriteString("within the SLO over all offered requests — requests still in flight at\n")
+	sb.WriteString("the end of the run count as misses, not exclusions (they are reported\n")
+	sb.WriteString("in the frontier's in-flight column); reconfigs are per-VM scaling\n")
+	sb.WriteString("actions; cost is provisioned vCPU-seconds (active vCPUs integrated\n")
+	sb.WriteString("over each VM's lifetime within the horizon).\n")
 	for _, hc := range r.HostCounts {
 		fleets := r.Fleets[hc]
 		tbl := report.NewTable(fmt.Sprintf("Cluster: %d host(s)", hc),
-			"policy", "VMs", "offered", "replies", "p50", "p95", "p99", "SLO%", "errors", "reconfigs", "util%")
+			"policy", "VMs", "offered", "replies", "p50", "p95", "p99", "SLO%", "errors", "reconfigs", "util%", "cost")
 		for _, f := range fleets {
 			tbl.AddRow(
-				f.Policy.String(),
+				f.Policy,
 				fmt.Sprintf("%d", f.Placed),
 				fmt.Sprintf("%d", f.Load.Offered),
 				fmt.Sprintf("%d", f.Load.Replies),
@@ -133,10 +175,32 @@ func (r ClusterResult) Render() string {
 				fmt.Sprintf("%d", f.Load.Errors),
 				fmt.Sprintf("%d", f.Reconfigs),
 				fmt.Sprintf("%.1f", 100*f.AvgHostUtil),
+				fmt.Sprintf("%.1f", f.CostVCPUSeconds),
 			)
 		}
 		sb.WriteString("\n")
 		sb.WriteString(tbl.String())
+
+		// The frontier: which policies buy their attainment efficiently.
+		eff := paretoEfficient(fleets)
+		ftbl := report.NewTable(fmt.Sprintf("Cost-vs-attainment frontier: %d host(s)", hc),
+			"policy", "cost vCPU·s", "SLO%", "in-flight", "frontier")
+		for i, f := range fleets {
+			mark := ""
+			if eff[i] {
+				mark = "*"
+			}
+			ftbl.AddRow(
+				f.Policy,
+				fmt.Sprintf("%.1f", f.CostVCPUSeconds),
+				fmt.Sprintf("%.1f", 100*f.Attainment),
+				fmt.Sprintf("%d", f.Load.InFlight),
+				mark,
+			)
+		}
+		sb.WriteString("\n")
+		sb.WriteString(ftbl.String())
+		sb.WriteString("* = Pareto-efficient: no policy costs less and attains at least as much.\n")
 		if len(fleets) > 0 {
 			// The same fleet shape under every policy: quote the central
 			// sweep once per host count.

@@ -4,6 +4,7 @@ import (
 	"strings"
 	"testing"
 
+	"vscale/internal/cluster"
 	"vscale/internal/runner"
 	"vscale/internal/scenario"
 	"vscale/internal/sim"
@@ -347,17 +348,17 @@ func TestExtensionAdaptiveTeam(t *testing.T) {
 }
 
 func TestClusterShape(t *testing.T) {
-	r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{2}, 4, 4*sim.Second, 50*sim.Millisecond)
+	r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{2}, 4, 4*sim.Second, 50*sim.Millisecond, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	fleets := r.Fleets[2]
-	if len(fleets) != len(ClusterPolicies) {
-		t.Fatalf("ran %d fleets, want one per policy", len(fleets))
+	if len(fleets) != len(cluster.PolicyNames()) {
+		t.Fatalf("ran %d fleets, want one per registered policy", len(fleets))
 	}
 	for i, f := range fleets {
-		if f.Policy != ClusterPolicies[i] {
-			t.Fatalf("fleet %d ran policy %v, want %v", i, f.Policy, ClusterPolicies[i])
+		if f.Policy != cluster.PolicyNames()[i] {
+			t.Fatalf("fleet %d ran policy %v, want %v", i, f.Policy, cluster.PolicyNames()[i])
 		}
 		// Every policy is driven by the same churn trace.
 		if f.Placed != fleets[0].Placed || f.Load.Offered != fleets[0].Load.Offered {
@@ -368,10 +369,43 @@ func TestClusterShape(t *testing.T) {
 		}
 	}
 	out := r.Render()
-	for _, want := range []string{"Cluster: 2 host(s)", "static", "hotplug", "vscale", "SLO", "central dom0 monitoring"} {
+	for _, want := range []string{"Cluster: 2 host(s)", "static", "hotplug", "vscale", "pid", "predictive",
+		"SLO", "central dom0 monitoring", "Cost-vs-attainment frontier", "Pareto-efficient"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("render missing %q:\n%s", want, out)
 		}
+	}
+	m := r.Metrics()
+	for _, p := range cluster.PolicyNames() {
+		for _, k := range []string{"2h/" + p + "/cost_vcpu_seconds", "2h/" + p + "/attainment"} {
+			if _, ok := m[k]; !ok {
+				t.Fatalf("Metrics missing %q: %v", k, m)
+			}
+		}
+		if m["2h/"+p+"/cost_vcpu_seconds"] <= 0 {
+			t.Fatalf("policy %s reported non-positive cost", p)
+		}
+	}
+	// Scaling policies must provision less than the static ceiling.
+	if m["2h/vscale/cost_vcpu_seconds"] >= m["2h/static/cost_vcpu_seconds"] {
+		t.Fatalf("vscale cost %.1f not below static %.1f",
+			m["2h/vscale/cost_vcpu_seconds"], m["2h/static/cost_vcpu_seconds"])
+	}
+}
+
+func TestClusterPolicySelection(t *testing.T) {
+	r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{1}, 4, 2*sim.Second, 50*sim.Millisecond,
+		[]string{"static", "pid"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleets := r.Fleets[1]
+	if len(fleets) != 2 || fleets[0].Policy != "static" || fleets[1].Policy != "pid" {
+		t.Fatalf("selection not honoured: %+v", fleets)
+	}
+	out := r.Render()
+	if strings.Contains(out, "hotplug") || strings.Contains(out, "predictive") {
+		t.Fatalf("unselected policies leaked into the render:\n%s", out)
 	}
 }
 
@@ -380,7 +414,7 @@ func TestClusterShape(t *testing.T) {
 func TestClusterParallelDeterminism(t *testing.T) {
 	render := func(workers int) string {
 		r, err := Cluster(runner.Options{Workers: workers, BaseSeed: 3}, nil,
-			[]int{2}, 4, 3*sim.Second, 20*sim.Millisecond)
+			[]int{2}, 4, 3*sim.Second, 20*sim.Millisecond, nil)
 		if err != nil {
 			t.Fatal(err)
 		}

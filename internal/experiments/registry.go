@@ -38,6 +38,10 @@ type Config struct {
 	// scrape snapshots to the sink's server, deterministic JSONL records
 	// to its stream. Experiment stdout is unaffected.
 	Telemetry *telemetry.Sink
+	// Policies selects the scaling policies the cluster experiment
+	// competes (registry names, see cluster.ParsePolicies); empty means
+	// every registered policy.
+	Policies []string
 
 	mu      sync.Mutex
 	npb4    *npbMemo
@@ -121,6 +125,10 @@ type Result struct {
 	// Report carries job wall clocks, derived seeds and per-run tracers
 	// in submission order.
 	Report *runner.Report
+	// Metrics carries scalar results worth benchmarking over time (the
+	// CLI folds them into the -benchjson output); nil for experiments
+	// that only render text.
+	Metrics map[string]float64
 }
 
 // Experiment is one registry entry. Name is the -run selector, Title
@@ -419,23 +427,28 @@ func Registry() []Experiment {
 		},
 		{
 			Name:        "cluster",
-			Title:       "Cluster — multi-host fleet under VM churn (static vs hotplug vs vScale)",
-			Desc:        "open-loop web load with VM arrivals/departures; reply-latency quantiles and SLO attainment per scaling policy",
+			Title:       "Cluster — multi-host fleet under VM churn (scaling-policy shoot-out)",
+			Desc:        "open-loop web load with VM arrivals/departures; reply-latency quantiles, SLO attainment and provisioned cost per registered scaling policy",
 			QuickParams: "2 hosts, 8 s churn",
 			FullParams:  "2 and 4 hosts, 16 s churn",
-			Run: wrap("cluster", func(c *Config, rep *runner.Report) (string, error) {
+			Run: func(c *Config) (Result, error) {
+				rep := &runner.Report{}
 				hostCounts := []int{2, 4}
 				horizon := 16 * sim.Second
 				if c.Quick {
 					hostCounts = []int{2}
 					horizon = 8 * sim.Second
 				}
-				r, err := Cluster(c.opts(rep), c.Telemetry, hostCounts, 4, horizon, 50*sim.Millisecond)
+				r, err := Cluster(c.opts(rep), c.Telemetry, hostCounts, 4, horizon, 50*sim.Millisecond, c.Policies)
 				if err != nil {
-					return "", err
+					return Result{}, fmt.Errorf("cluster: %w", err)
 				}
-				return r.Render(), nil
-			}),
+				res := Result{Name: "cluster", Text: r.Render(), Metrics: r.Metrics()}
+				if rep.Jobs > 0 {
+					res.Report = rep
+				}
+				return res, nil
+			},
 		},
 		{
 			Name:        "extension",

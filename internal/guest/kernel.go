@@ -305,6 +305,15 @@ func (k *Kernel) CPUStatsOf(id int) CPUStats { return k.cpus[id].stats }
 // AverageActiveVCPUs returns the time-weighted mean active-vCPU count.
 func (k *Kernel) AverageActiveVCPUs() float64 { return k.activeTW.average(k.eng.Now()) }
 
+// ActiveVCPUSeconds returns the integral of the active (unfrozen)
+// vCPU count over the kernel's lifetime so far, in seconds — the
+// provisioned-capacity cost the VM has accrued.
+func (k *Kernel) ActiveVCPUSeconds() float64 {
+	tw := k.activeTW
+	now := k.eng.Now()
+	return (tw.weight + tw.value*float64(now-tw.last)) / float64(sim.Second)
+}
+
 // Trace returns the recorded active-vCPU trace (enable with StartTrace).
 func (k *Kernel) Trace() []TracePoint { return k.trace }
 

@@ -40,6 +40,11 @@ type Stats struct {
 	Errors   uint64 // timeouts + backlog drops
 	SLOOk    uint64 // replies delivered within the SLO
 	SLOTotal uint64 // requests the SLO is judged over (== Offered)
+	// InFlight is the point-in-time backlog: requests offered but not
+	// yet terminal (Offered - Done). These count against Attainment —
+	// see its doc — so a run cut off mid-epoch reports them here for
+	// callers that want to score or exclude them explicitly.
+	InFlight uint64
 }
 
 // Attainment returns the fraction of offered requests answered within
@@ -67,6 +72,13 @@ type Generator struct {
 
 	stats Stats
 	hist  *metrics.Histogram // reply latency, ms, within-timeout replies only
+
+	// Windowed accounting for per-epoch observers (TakeWindow): a stats
+	// checkpoint plus a second histogram fed in parallel with hist and
+	// swapped out at each window boundary.
+	winLast Stats
+	winHist *metrics.Histogram
+	spare   *metrics.Histogram
 }
 
 // New hooks a generator to a server. The generator takes over the
@@ -79,12 +91,14 @@ func New(eng *sim.Engine, srv *httpd.Server, rand *sim.Rand, cfg Config) *Genera
 		bounds = metrics.DefaultLatencyBuckets()
 	}
 	g := &Generator{
-		eng:  eng,
-		srv:  srv,
-		rand: rand,
-		slo:  cfg.SLO,
-		rate: cfg.RateRPS,
-		hist: metrics.NewHistogram(bounds),
+		eng:     eng,
+		srv:     srv,
+		rand:    rand,
+		slo:     cfg.SLO,
+		rate:    cfg.RateRPS,
+		hist:    metrics.NewHistogram(bounds),
+		winHist: metrics.NewHistogram(bounds),
+		spare:   metrics.NewHistogram(bounds),
 	}
 	srv.OnComplete = g.complete
 	return g
@@ -143,13 +157,44 @@ func (g *Generator) complete(lat sim.Time, ok bool) {
 	}
 	g.stats.Replies++
 	g.hist.Observe(lat.Milliseconds())
+	g.winHist.Observe(lat.Milliseconds())
 	if lat <= g.slo {
 		g.stats.SLOOk++
 	}
 }
 
 // Stats returns the current accounting snapshot.
-func (g *Generator) Stats() Stats { return g.stats }
+func (g *Generator) Stats() Stats {
+	s := g.stats
+	s.InFlight = s.Offered - s.Done
+	return s
+}
+
+// TakeWindow closes the current accounting window: it returns the
+// counter deltas since the previous TakeWindow (or since construction)
+// together with the reply-latency histogram of just that window, then
+// starts a new one. InFlight in the returned Stats is the point-in-time
+// backlog at the boundary, not a delta. The returned histogram is only
+// valid until the next TakeWindow call (it is recycled). Windowing is
+// pure bookkeeping: it schedules no events and draws no randomness, so
+// observers calling it cannot perturb the simulation.
+func (g *Generator) TakeWindow() (Stats, *metrics.Histogram) {
+	cur := g.Stats()
+	w := Stats{
+		Offered:  cur.Offered - g.winLast.Offered,
+		Done:     cur.Done - g.winLast.Done,
+		Replies:  cur.Replies - g.winLast.Replies,
+		Errors:   cur.Errors - g.winLast.Errors,
+		SLOOk:    cur.SLOOk - g.winLast.SLOOk,
+		SLOTotal: cur.SLOTotal - g.winLast.SLOTotal,
+		InFlight: cur.InFlight,
+	}
+	g.winLast = cur
+	h := g.winHist
+	g.winHist, g.spare = g.spare, h
+	g.winHist.Reset()
+	return w, h
+}
 
 // Hist returns the reply-latency histogram (milliseconds). Merge copies
 // into a fleet-level histogram rather than mutating this one.

@@ -120,3 +120,66 @@ func TestGeneratorDeterminism(t *testing.T) {
 		t.Fatalf("same seed, different results: %+v/%g vs %+v/%g", s1, p1, s2, p2)
 	}
 }
+
+func TestInFlightAccounting(t *testing.T) {
+	eng, _, g := newRig(t, 13, Config{RateRPS: 2000, SLO: 20 * sim.Millisecond})
+	g.Start()
+	if err := eng.RunUntil(500 * sim.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	mid := g.Stats()
+	if mid.InFlight != mid.Offered-mid.Done {
+		t.Fatalf("InFlight = %d, want Offered-Done = %d", mid.InFlight, mid.Offered-mid.Done)
+	}
+	// In-flight requests count against attainment, not as exclusions.
+	if want := float64(mid.SLOOk) / float64(mid.Offered); mid.Attainment() != want {
+		t.Fatalf("attainment %g, want SLOOk/Offered = %g (in-flight must count as misses)", mid.Attainment(), want)
+	}
+	g.Stop()
+	if err := eng.RunUntil(3 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	if st := g.Stats(); st.InFlight != 0 {
+		t.Fatalf("InFlight = %d after drain", st.InFlight)
+	}
+}
+
+func TestTakeWindow(t *testing.T) {
+	eng, _, g := newRig(t, 17, Config{RateRPS: 1000, SLO: 50 * sim.Millisecond})
+	g.Start()
+	var winSum Stats
+	var winReplies uint64
+	for i := 1; i <= 4; i++ {
+		if err := eng.RunUntil(sim.Time(i) * 500 * sim.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		w, hist := g.TakeWindow()
+		winSum.Offered += w.Offered
+		winSum.Done += w.Done
+		winSum.Replies += w.Replies
+		winSum.Errors += w.Errors
+		winSum.SLOOk += w.SLOOk
+		if hist.Count() != w.Replies {
+			t.Fatalf("window %d: hist count %d != window replies %d", i, hist.Count(), w.Replies)
+		}
+		winReplies += hist.Count()
+	}
+	cum := g.Stats()
+	if winSum.Offered != cum.Offered || winSum.Done != cum.Done ||
+		winSum.Replies != cum.Replies || winSum.SLOOk != cum.SLOOk {
+		t.Fatalf("window deltas %+v do not sum to the cumulative %+v", winSum, cum)
+	}
+	if winReplies != g.Hist().Count() {
+		t.Fatalf("window histograms hold %d replies, cumulative %d", winReplies, g.Hist().Count())
+	}
+	// An empty window is all zeros except the point-in-time backlog.
+	g.Stop()
+	if err := eng.RunUntil(4 * sim.Second); err != nil {
+		t.Fatal(err)
+	}
+	g.TakeWindow()
+	w, hist := g.TakeWindow()
+	if w.Offered != 0 || w.Replies != 0 || w.InFlight != 0 || hist.Count() != 0 {
+		t.Fatalf("idle window not empty: %+v (hist %d)", w, hist.Count())
+	}
+}
