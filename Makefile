@@ -26,14 +26,18 @@ race:
 	go test -race ./...
 
 # Quick experiment pass with run accounting: wall/CPU/speedup per
-# experiment, written to BENCH_experiments.json (schema vscale-bench/v1),
-# plus the event-core microbenchmarks recorded as ns/op + allocs/op in
-# BENCH_sim.json (schema vscale-simbench/v1), plus the cluster fleet
-# experiment on its own in BENCH_cluster.json (its per-epoch host
-# fan-out accounting is the multi-engine scaling signal, and its
-# "metrics" map records cost_vcpu_seconds and attainment per scaling
-# policy so the cost-vs-attainment frontier is tracked over time).
+# experiment, written to BENCH_experiments.json (schema vscale-bench/v1)
+# — -benchworkers re-runs the whole selection at several worker counts,
+# asserts the passes print identical bytes, and records the wall-clock
+# series under "parallel"; plus the event-core microbenchmarks and the
+# end-to-end fleet-executor benchmark recorded as ns/op + allocs/op in
+# BENCH_sim.json (schema vscale-simbench/v1); plus the cluster fleet
+# shoot-out and the fleetscale executor sweep (hosts × workers, wall
+# seconds and speedups in each entry's "metrics" map) in
+# BENCH_cluster.json, whose cost_vcpu_seconds and attainment per scaling
+# policy track the cost-vs-attainment frontier over time.
 bench:
-	go run ./cmd/vscale-experiments -quick -benchjson BENCH_experiments.json >/dev/null
-	go run ./cmd/vscale-experiments -experiment cluster -quick -benchjson BENCH_cluster.json >/dev/null
-	go test -run='^$$' -bench=. -benchmem ./internal/sim/... | go run ./cmd/vscale-simbench -o BENCH_sim.json
+	go run ./cmd/vscale-experiments -quick -benchworkers 1,2,4 -benchjson BENCH_experiments.json >/dev/null
+	go run ./cmd/vscale-experiments -experiment cluster,fleetscale -quick -benchjson BENCH_cluster.json >/dev/null
+	{ go test -run='^$$' -bench=. -benchmem ./internal/sim/... ; \
+	  go test -run='^$$' -bench='^BenchmarkRunFleet$$' -benchmem . ; } | go run ./cmd/vscale-simbench -o BENCH_sim.json

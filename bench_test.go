@@ -10,6 +10,7 @@ package vscale
 import (
 	"testing"
 
+	"vscale/internal/cluster"
 	"vscale/internal/experiments"
 	"vscale/internal/runner"
 	"vscale/internal/scenario"
@@ -279,6 +280,42 @@ func BenchmarkExtensionAdaptiveTeam(b *testing.B) {
 		speedup = float64(r.FixedExec) / float64(r.Adapted)
 	}
 	b.ReportMetric(speedup, "adaptspeedup")
+}
+
+// BenchmarkRunFleet measures the bounded-lag fleet executor end to end:
+// a 64-host fleet under light churn, one worker, placement recording
+// off. This is the control-plane overhead signal — allocs/op catches
+// regressions in the aggregation and telemetry scratch reuse.
+func BenchmarkRunFleet(b *testing.B) {
+	const hosts = 64
+	horizon := 2 * sim.Second
+	tcfg := cluster.DefaultTraceConfig(horizon)
+	tcfg.InitialVMs = hosts
+	tcfg.ArrivalEvery = horizon / sim.Time(2*hosts)
+	tcfg.RateChoices = []float64{50, 100, 200}
+	seed := runner.DeriveSeed(7, hosts)
+	events := cluster.GenTrace(tcfg, seed)
+	recordOff := false
+	var att float64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := cluster.RunFleet(cluster.FleetConfig{
+			Hosts:            hosts,
+			PCPUsPerHost:     4,
+			Policy:           "vscale",
+			Seed:             seed,
+			Horizon:          horizon,
+			SLO:              50 * sim.Millisecond,
+			Workers:          1,
+			RecordPlacements: &recordOff,
+		}, events)
+		if err != nil {
+			b.Fatal(err)
+		}
+		att = res.Attainment
+	}
+	b.ReportMetric(att*100, "slo%")
 }
 
 // BenchmarkEngineThroughput measures the raw simulator event rate — the

@@ -22,15 +22,27 @@
 // BENCH_experiments.json. Experiments that publish scalar results (the
 // cluster shoot-out's per-policy cost_vcpu_seconds and attainment) carry
 // them in the entry's "metrics" map.
+//
+// -sync and -lag select the cluster fleet executor (boundedlag by
+// default, lockstep as the differential reference) and its staleness
+// bound; stdout is byte-identical across both.
+//
+// -benchworkers runs the selected experiments once per listed worker
+// count, each pass with a fresh config (so memoized sweeps cannot make
+// later passes artificially cheap), asserts the passes' stdout is
+// byte-identical, and records the wall-clock series under "parallel" in
+// the -benchjson file — the multi-worker speedup series.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -63,6 +75,16 @@ type benchEntry struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// parallelEntry is one -benchworkers pass: the same experiment
+// selection run at a fixed worker count. Speedup is relative to the
+// series' first worker count.
+type parallelEntry struct {
+	Workers     int     `json:"workers"`
+	WallSeconds float64 `json:"wall_seconds"`
+	CPUSeconds  float64 `json:"cpu_seconds"`
+	Speedup     float64 `json:"speedup"`
+}
+
 // benchFile is the -benchjson schema (vscale-bench/v1).
 type benchFile struct {
 	Schema      string       `json:"schema"`
@@ -71,6 +93,8 @@ type benchFile struct {
 	Quick       bool         `json:"quick"`
 	Experiments []benchEntry `json:"experiments"`
 	Total       benchEntry   `json:"total"`
+	// Parallel is the -benchworkers series (absent otherwise).
+	Parallel []parallelEntry `json:"parallel,omitempty"`
 }
 
 func main() {
@@ -81,6 +105,9 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker pool size per experiment (default GOMAXPROCS)")
 	window := flag.Float64("window", 20, "Apache measurement window per load level, seconds")
 	policies := flag.String("policies", "all", "comma-separated scaling policies for the cluster experiment (or 'all'; registry names)")
+	syncFlag := flag.String("sync", "", "cluster fleet executor, lockstep | boundedlag (default boundedlag); stdout is byte-identical across modes")
+	lagFlag := flag.Int("lag", 0, "cluster placement-staleness/run-ahead bound, epochs (0 = default)")
+	benchWorkers := flag.String("benchworkers", "", "comma-separated worker counts: run the selection once per count with a fresh config, assert identical stdout, record the speedup series in -benchjson")
 	seed := flag.Uint64("seed", 1, "base seed for per-run seed derivation")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this path")
 	schedstats := flag.Bool("schedstats", false, "print aggregate per-vCPU scheduling statistics")
@@ -140,19 +167,43 @@ func main() {
 	}
 	want := func(name string) bool { return selected["all"] || selected[name] }
 
-	cfg := experiments.NewConfig()
-	cfg.Quick = *quick
-	cfg.Window = sim.FromSeconds(*window)
-	cfg.Workers = *parallel
-	cfg.BaseSeed = *seed
-	cfg.Trace = *traceOut != "" || *schedstats
-	cfg.TraceCapacity = *tracecap
 	pols, err := cluster.ParsePolicies(*policies)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	cfg.Policies = pols
+	if _, err := cluster.ParseSyncMode(*syncFlag); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	var workerSeries []int
+	if *benchWorkers != "" {
+		for _, s := range strings.Split(*benchWorkers, ",") {
+			n, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil || n <= 0 {
+				fmt.Fprintf(os.Stderr, "-benchworkers: bad worker count %q\n", s)
+				os.Exit(2)
+			}
+			workerSeries = append(workerSeries, n)
+		}
+	}
+
+	// Each pass gets a FRESH config: the memoized shared sweeps
+	// (figure6/9/10, figure11/13) must be re-run per pass, or every pass
+	// after the first would time reuse instead of work.
+	makeCfg := func(workers int) *experiments.Config {
+		cfg := experiments.NewConfig()
+		cfg.Quick = *quick
+		cfg.Window = sim.FromSeconds(*window)
+		cfg.Workers = workers
+		cfg.BaseSeed = *seed
+		cfg.Trace = *traceOut != "" || *schedstats
+		cfg.TraceCapacity = *tracecap
+		cfg.Policies = pols
+		cfg.Sync = *syncFlag
+		cfg.LagEpochs = *lagFlag
+		return cfg
+	}
 
 	// Live telemetry: the scrape endpoint and the JSONL stream both hang
 	// off one sink; diagnostics go to stderr so stdout stays
@@ -178,50 +229,91 @@ func main() {
 	if srv := sink.Server(); srv != nil {
 		fmt.Fprintf(os.Stderr, "telemetry: serving /metrics on http://%s\n", srv.Addr())
 	}
-	cfg.Telemetry = sink
 
 	out := os.Stdout
-	section := func(title string) {
-		fmt.Fprintf(out, "\n==================================================================\n%s\n==================================================================\n", title)
-	}
 	start := time.Now()
+
+	// runPass executes the selection against one config, writing the
+	// section output to w and returning the accounting.
+	runPass := func(cfg *experiments.Config, w io.Writer) ([]benchEntry, benchEntry, []*trace.Tracer) {
+		var entries []benchEntry
+		var total benchEntry
+		var tracers []*trace.Tracer
+		for _, e := range registry {
+			if !want(e.Name) {
+				continue
+			}
+			expStart := time.Now()
+			res, err := e.Run(cfg)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprintf(w, "\n==================================================================\n%s\n==================================================================\n", e.Title)
+			fmt.Fprint(w, res.Text)
+			wall := time.Since(expStart)
+			entry := benchEntry{Name: e.Name, WallSeconds: wall.Seconds(), Metrics: res.Metrics}
+			if rep := res.Report; rep != nil {
+				entry.Runs = rep.Jobs
+				entry.CPUSeconds = rep.CPU().Seconds()
+				entry.JobWallMinSecs = rep.JobWallMin().Seconds()
+				entry.JobWallMeanSec = rep.JobWallMean().Seconds()
+				entry.JobWallMaxSecs = rep.JobWallMax().Seconds()
+				if wall > 0 {
+					entry.Speedup = rep.CPU().Seconds() / wall.Seconds()
+				}
+				tracers = append(tracers, rep.LiveTracers()...)
+			}
+			entries = append(entries, entry)
+			total.Runs += entry.Runs
+			total.WallSeconds += entry.WallSeconds
+			total.CPUSeconds += entry.CPUSeconds
+		}
+		total.Name = "total"
+		if total.WallSeconds > 0 {
+			total.Speedup = total.CPUSeconds / total.WallSeconds
+		}
+		return entries, total, tracers
+	}
 
 	var entries []benchEntry
 	var total benchEntry
 	var tracers []*trace.Tracer
-	for _, e := range registry {
-		if !want(e.Name) {
-			continue
-		}
-		expStart := time.Now()
-		res, err := e.Run(cfg)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		section(e.Title)
-		fmt.Fprint(out, res.Text)
-		wall := time.Since(expStart)
-		entry := benchEntry{Name: e.Name, WallSeconds: wall.Seconds(), Metrics: res.Metrics}
-		if rep := res.Report; rep != nil {
-			entry.Runs = rep.Jobs
-			entry.CPUSeconds = rep.CPU().Seconds()
-			entry.JobWallMinSecs = rep.JobWallMin().Seconds()
-			entry.JobWallMeanSec = rep.JobWallMean().Seconds()
-			entry.JobWallMaxSecs = rep.JobWallMax().Seconds()
-			if wall > 0 {
-				entry.Speedup = rep.CPU().Seconds() / wall.Seconds()
+	var parallelSeries []parallelEntry
+	if len(workerSeries) == 0 {
+		cfg := makeCfg(*parallel)
+		cfg.Telemetry = sink
+		entries, total, tracers = runPass(cfg, out)
+	} else {
+		// First pass streams to stdout and is the reference; every later
+		// pass must reproduce it byte for byte. Telemetry attaches to the
+		// first pass only, so the JSONL stream holds one copy of the
+		// series.
+		var ref bytes.Buffer
+		cfg := makeCfg(workerSeries[0])
+		cfg.Telemetry = sink
+		entries, total, tracers = runPass(cfg, io.MultiWriter(out, &ref))
+		parallelSeries = append(parallelSeries, parallelEntry{
+			Workers: workerSeries[0], WallSeconds: total.WallSeconds,
+			CPUSeconds: total.CPUSeconds, Speedup: 1,
+		})
+		for _, wc := range workerSeries[1:] {
+			var buf bytes.Buffer
+			_, t, trs := runPass(makeCfg(wc), &buf)
+			if !bytes.Equal(buf.Bytes(), ref.Bytes()) {
+				fmt.Fprintf(os.Stderr, "benchworkers: stdout at %d workers differs from %d workers\n",
+					wc, workerSeries[0])
+				os.Exit(1)
 			}
-			tracers = append(tracers, rep.LiveTracers()...)
+			tracers = append(tracers, trs...)
+			pe := parallelEntry{Workers: wc, WallSeconds: t.WallSeconds, CPUSeconds: t.CPUSeconds}
+			if t.WallSeconds > 0 {
+				pe.Speedup = parallelSeries[0].WallSeconds / t.WallSeconds
+			}
+			parallelSeries = append(parallelSeries, pe)
+			fmt.Fprintf(os.Stderr, "benchworkers: %d workers: %.2fs wall (%.2fx vs %d workers), stdout identical\n",
+				wc, t.WallSeconds, pe.Speedup, workerSeries[0])
 		}
-		entries = append(entries, entry)
-		total.Runs += entry.Runs
-		total.WallSeconds += entry.WallSeconds
-		total.CPUSeconds += entry.CPUSeconds
-	}
-	total.Name = "total"
-	if total.WallSeconds > 0 {
-		total.Speedup = total.CPUSeconds / total.WallSeconds
 	}
 
 	if *benchJSON != "" {
@@ -236,6 +328,7 @@ func main() {
 			Quick:       *quick,
 			Experiments: entries,
 			Total:       total,
+			Parallel:    parallelSeries,
 		}
 		data, err := json.MarshalIndent(bf, "", "  ")
 		if err != nil {
@@ -250,7 +343,7 @@ func main() {
 			*benchJSON, total.Runs, total.WallSeconds, total.CPUSeconds, total.Speedup)
 	}
 
-	if cfg.Trace {
+	if *traceOut != "" || *schedstats {
 		// Each simulation ran with a private tracer; stitch the timelines
 		// into one export, run0/, run1/, ... in submission order.
 		tr := trace.Merge(tracers...)

@@ -37,7 +37,10 @@
 // through the cluster policy registry; 'all' runs every registered
 // policy) on identical churn traces and printing the SLO scoreboard
 // with its cost-vs-attainment frontier. -hosts and -horizon size the
-// fleet; -pcpus, -slo, -seed and -parallel keep their meanings.
+// fleet; -pcpus, -slo, -seed and -parallel keep their meanings. -sync
+// selects the fleet executor (boundedlag by default, lockstep as the
+// differential reference) and -lag its staleness/run-ahead bound —
+// stdout is byte-identical across both and across -parallel settings.
 // See docs/cluster.md.
 package main
 
@@ -84,6 +87,8 @@ func main() {
 	policiesFlag := flag.String("policies", "", "fleet mode: comma-separated scaling policies to compete (or 'all'; registry names)")
 	hosts := flag.Int("hosts", 2, "fleet mode: hosts in the fleet")
 	horizonSecs := flag.Float64("horizon", 8, "fleet mode: churn horizon, seconds")
+	syncFlag := flag.String("sync", "", "fleet mode: executor, lockstep | boundedlag (default boundedlag); results are byte-identical across modes")
+	lagFlag := flag.Int("lag", 0, "fleet mode: placement-staleness/run-ahead bound in epochs (0 = default)")
 	nobg := flag.Bool("dedicated", false, "no background VMs")
 	maxSecs := flag.Float64("max", 600, "simulation deadline, seconds")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
@@ -153,8 +158,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		syncMode, err := cluster.ParseSyncMode(*syncFlag)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
 		r, err := experiments.Cluster(runner.Options{Workers: *parallel, BaseSeed: *seed},
-			sink, []int{*hosts}, *pcpus, sim.FromSeconds(*horizonSecs), sim.FromMillis(*sloMs), pols)
+			sink, []int{*hosts}, *pcpus, sim.FromSeconds(*horizonSecs), sim.FromMillis(*sloMs), pols, syncMode, *lagFlag)
 		fatal(err)
 		fmt.Print(r.Render())
 		if telemetryFile != nil {

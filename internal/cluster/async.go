@@ -1,0 +1,366 @@
+package cluster
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"vscale/internal/core"
+	"vscale/internal/runner"
+	"vscale/internal/sim"
+)
+
+// The bounded-lag asynchronous executor.
+//
+// Instead of one fan-out/join barrier per epoch, every host is a queue
+// on a persistent runner.Pool whose workers advance it through as many
+// epochs as its gates allow; a host that cannot progress parks (returns
+// to the pool) and is woken when a shared frontier moves. Virtual time
+// is decoupled across hosts up to the lag bound; the only global
+// synchronization points are the ones with genuine cross-host meaning:
+//
+//   - Routing: epoch k's churn batch must be delivered before a host
+//     runs it, and an arrival epoch's placement needs the fleet
+//     snapshot from boundary base(k) = max(0, k-lag) — so the router
+//     waits for the slowest host only up to that stale boundary, and
+//     hosts wait for the routing frontier.
+//   - The lag bound: no host runs more than lag epochs ahead of the
+//     slowest, bounding snapshot memory and placement staleness.
+//   - Telemetry: a collection epoch samples every host parked at the
+//     same boundary, so an attached collector forces epoch pacing.
+//
+// Everything a host does between gates — scheduling its batch, running
+// its engine, snapshotting, its per-boundary policy pass — is host-
+// local and happens on its own timeline, in exactly the order the
+// lockstep executor would have produced on that host's engine. That,
+// plus the shared router, is why the two executors' FleetResults are
+// byte-identical.
+type asyncFleet struct {
+	cfg   *FleetConfig
+	plan  *epochPlan
+	hosts []*Host
+	pols  []ScalingPolicy
+	rt    *fleetRouter
+	res   *FleetResult
+	lead  int // run-ahead bound (0 while telemetry is attached)
+	last  int // plan.epochs(); epoch index `last` is the drain step
+
+	pool *runner.Pool
+
+	mu   sync.Mutex
+	cond *sync.Cond // the router's wait channel; hosts park by returning
+	// routed is the routing frontier: epochs [0, routed) have their
+	// batches delivered.
+	routed int
+	// done[i] counts host i's completed epochs (last+1 = drained);
+	// minDone/minCount track the minimum incrementally.
+	done     []int
+	minDone  int
+	minCount int
+	// pendingPolicy[i] marks host i parked at boundary done[i] with its
+	// policy pass still owed (it may be gated on telemetry).
+	pendingPolicy []bool
+	// telemetryDone is the last boundary whose collection epoch has
+	// closed (only consulted when a collector is attached).
+	telemetryDone int
+	// batches[i][k] is host i's routed churn for epoch k; written by the
+	// router before it publishes routed = k+1.
+	batches [][][]routedEvent
+	// snaps[i] holds host i's published boundary snapshots, only for
+	// boundaries some arrival epoch will place with (rt.needBoundary);
+	// the router consumes each exactly once.
+	snaps []map[int]hostSnap
+
+	failErr   error
+	failEpoch int
+	failHost  int
+
+	hostWall []time.Duration
+}
+
+// hostSnap is one host's published epoch-boundary state, the
+// bounded-staleness input to placement.
+type hostSnap struct {
+	stats     []core.VMStat
+	committed int
+}
+
+// testEpochHook, when non-nil, observes (and may slow down) a host
+// about to run an epoch — a test seam for skewing host pacing. Set and
+// cleared only while no fleet is running.
+var testEpochHook func(host, epoch int)
+
+// runBoundedLag executes the fleet asynchronously; see asyncFleet.
+func runBoundedLag(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []ScalingPolicy, rt *fleetRouter, res *FleetResult) error {
+	f := &asyncFleet{
+		cfg:           cfg,
+		plan:          plan,
+		hosts:         hosts,
+		pols:          pols,
+		rt:            rt,
+		res:           res,
+		lead:          rt.lag,
+		last:          plan.epochs(),
+		done:          make([]int, len(hosts)),
+		minCount:      len(hosts),
+		pendingPolicy: make([]bool, len(hosts)),
+		batches:       make([][][]routedEvent, len(hosts)),
+		snaps:         make([]map[int]hostSnap, len(hosts)),
+		hostWall:      make([]time.Duration, len(hosts)),
+	}
+	f.cond = sync.NewCond(&f.mu)
+	for i := range hosts {
+		f.batches[i] = make([][]routedEvent, f.last)
+		f.snaps[i] = map[int]hostSnap{}
+	}
+	if cfg.Telemetry != nil {
+		// Every collection epoch samples all hosts parked at one
+		// boundary: a global sync point, so run-ahead is disabled and the
+		// executor paces epoch by epoch (results are identical either
+		// way; only wall-clock behaviour changes).
+		f.lead = 0
+	}
+
+	start := time.Now()
+	f.pool = runner.NewPool(cfg.Workers, len(hosts), f.advance)
+	f.pool.WakeAll()
+	err := f.route()
+	f.pool.Close()
+
+	if rep := cfg.Report; rep != nil {
+		// One job per host: its wall clock sums the executor chunks that
+		// advanced it (lockstep reports one job per host-epoch instead).
+		rep.Jobs += len(hosts)
+		if w := f.pool.Workers(); w > rep.Workers {
+			rep.Workers = w
+		}
+		rep.Wall += time.Since(start)
+		rep.JobWall = append(rep.JobWall, f.hostWall...)
+	}
+	return err
+}
+
+// route is the control-plane loop, run on the RunFleet goroutine: it
+// routes churn epochs in trace order (waiting on the slowest host only
+// when an arrival epoch needs its base snapshot), interleaves telemetry
+// collection epochs when a collector is attached, and finally waits for
+// every host to drain.
+func (f *asyncFleet) route() error {
+	tel := f.cfg.Telemetry != nil
+	for k := 0; k < f.last; k++ {
+		if tel && k > 0 {
+			// Boundary k's collection epoch precedes epoch k's routing,
+			// exactly as in lockstep (counters reflect epochs [0, k)).
+			if err := f.collectBoundary(k, f.plan.ends[k-1]); err != nil {
+				return err
+			}
+		}
+		var stats [][]core.VMStat
+		var committed []int
+		if f.plan.hasArrival[k] {
+			b := f.rt.baseFor(k)
+			f.mu.Lock()
+			for f.minDone < b && f.failErr == nil {
+				f.cond.Wait()
+			}
+			if f.failErr != nil {
+				f.mu.Unlock()
+				return f.failErr
+			}
+			stats, committed = f.gatherLocked(b)
+			f.mu.Unlock()
+		}
+		batches, err := f.rt.routeEpoch(k, stats, committed)
+		if err != nil {
+			f.mu.Lock()
+			f.failLocked(err, k, -1)
+			f.mu.Unlock()
+			f.pool.WakeAll()
+			return err
+		}
+		if batches != nil {
+			for i := range f.hosts {
+				f.batches[i][k] = batches[i]
+			}
+		}
+		f.mu.Lock()
+		f.routed = k + 1
+		f.mu.Unlock()
+		f.pool.WakeAll()
+	}
+	if tel {
+		// The horizon boundary's collection epoch (end of the last churn
+		// epoch), before any host starts draining.
+		if err := f.collectBoundary(f.last, f.plan.ends[f.last-1]); err != nil {
+			return err
+		}
+	}
+	f.mu.Lock()
+	for f.minDone <= f.last && f.failErr == nil {
+		f.cond.Wait()
+	}
+	err := f.failErr
+	f.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	// Terminal collection epoch on the fully drained fleet.
+	collectTelemetry(f.cfg.Telemetry, f.cfg.Horizon+f.cfg.Drain, f.hosts, f.res, f.cfg.SLO, f.rt.telHist)
+	return nil
+}
+
+// collectBoundary waits until every host is parked at boundary k (its
+// epoch k-1 done, its boundary-k policy pass gated on us), samples the
+// fleet, then opens the gate.
+func (f *asyncFleet) collectBoundary(k int, now sim.Time) error {
+	f.mu.Lock()
+	for f.minDone < k && f.failErr == nil {
+		f.cond.Wait()
+	}
+	if f.failErr != nil {
+		f.mu.Unlock()
+		return f.failErr
+	}
+	f.mu.Unlock()
+	// No host can be past boundary k (its policy pass needs
+	// telemetryDone >= k), so every engine is frozen while we read.
+	collectTelemetry(f.cfg.Telemetry, now, f.hosts, f.res, f.cfg.SLO, f.rt.telHist)
+	f.mu.Lock()
+	f.telemetryDone = k
+	f.mu.Unlock()
+	f.pool.WakeAll()
+	return nil
+}
+
+// gatherLocked assembles the fleet snapshot at boundary b, consuming
+// the hosts' published entries. Boundary 0 is the empty initial fleet.
+func (f *asyncFleet) gatherLocked(b int) ([][]core.VMStat, []int) {
+	stats := make([][]core.VMStat, len(f.hosts))
+	committed := make([]int, len(f.hosts))
+	if b == 0 {
+		return stats, committed
+	}
+	for i := range f.hosts {
+		s, ok := f.snaps[i][b]
+		if !ok {
+			panic(fmt.Sprintf("cluster: host %d never published boundary %d", i, b))
+		}
+		stats[i] = s.stats
+		committed[i] = s.committed
+		delete(f.snaps[i], b)
+	}
+	return stats, committed
+}
+
+// advance is the pool's run function for one host queue: it advances
+// the host through epochs until a gate blocks it, then parks. All work
+// outside f.mu touches only host-local state.
+func (f *asyncFleet) advance(i int) {
+	h := f.hosts[i]
+	for {
+		f.mu.Lock()
+		if f.failErr != nil || f.done[i] > f.last {
+			f.mu.Unlock()
+			return
+		}
+		k := f.done[i]
+		if f.pendingPolicy[i] {
+			if f.cfg.Telemetry != nil && f.telemetryDone < k {
+				f.mu.Unlock()
+				return // park until boundary k's collection epoch closes
+			}
+			f.mu.Unlock()
+			t0 := time.Now()
+			h.boundaryPolicy(f.pols[i], f.plan.ends[k-1]-f.plan.starts[k-1])
+			f.mu.Lock()
+			f.hostWall[i] += time.Since(t0)
+			f.pendingPolicy[i] = false
+			f.mu.Unlock()
+			continue
+		}
+		if k < f.last && f.routed <= k {
+			f.mu.Unlock()
+			return // park until epoch k's batch is routed
+		}
+		if k > f.minDone+f.lead {
+			f.mu.Unlock()
+			return // park: lag bound reached, the slowest host gates us
+		}
+		f.mu.Unlock()
+
+		if hook := testEpochHook; hook != nil {
+			hook(i, k)
+		}
+		t0 := time.Now()
+		var err error
+		var snap []core.VMStat
+		committed := 0
+		if k < f.last {
+			h.scheduleRouted(f.batches[i][k])
+			if err = h.RunEpoch(f.plan.ends[k]); err == nil {
+				snap = h.Snapshot(f.plan.ends[k] - f.plan.starts[k])
+				committed = h.CommittedVCPUs()
+			}
+		} else {
+			// The drain step: all churn epochs are behind us (the routing
+			// gate saw to that), so retire every VM and run out the clock.
+			h.StopAll()
+			err = h.RunEpoch(f.cfg.Horizon + f.cfg.Drain)
+		}
+		wall := time.Since(t0)
+
+		f.mu.Lock()
+		f.hostWall[i] += wall
+		if err != nil {
+			f.failLocked(err, k, i)
+			f.mu.Unlock()
+			return
+		}
+		if k < f.last {
+			if f.rt.needBoundary(k + 1) {
+				f.snaps[i][k+1] = hostSnap{stats: snap, committed: committed}
+			}
+			f.pendingPolicy[i] = true
+		}
+		f.done[i] = k + 1
+		f.bumpMinLocked(k)
+		f.mu.Unlock()
+	}
+}
+
+// bumpMinLocked maintains minDone/minCount after a host advanced past
+// `old`, and wakes the fleet when the global minimum moves: the router
+// may be waiting on it, and parked hosts' lag bounds just loosened.
+func (f *asyncFleet) bumpMinLocked(old int) {
+	if old != f.minDone {
+		return
+	}
+	if f.minCount--; f.minCount > 0 {
+		return
+	}
+	min := f.done[0]
+	for _, d := range f.done[1:] {
+		if d < min {
+			min = d
+		}
+	}
+	count := 0
+	for _, d := range f.done {
+		if d == min {
+			count++
+		}
+	}
+	f.minDone, f.minCount = min, count
+	f.cond.Broadcast()
+	f.pool.WakeAll()
+}
+
+// failLocked records the first failure by (epoch, host) order — a
+// deterministic choice when a single fault is in play — and wakes
+// everyone so the run unwinds.
+func (f *asyncFleet) failLocked(err error, epoch, host int) {
+	if f.failErr == nil || epoch < f.failEpoch || (epoch == f.failEpoch && host < f.failHost) {
+		f.failErr, f.failEpoch, f.failHost = err, epoch, host
+	}
+	f.cond.Broadcast()
+}

@@ -89,33 +89,28 @@ func TestParseTraceErrors(t *testing.T) {
 	}
 }
 
-// mustHost builds a host or fails the test.
-func mustHost(t *testing.T, id int, cfg HostConfig) *Host {
-	t.Helper()
-	h, err := NewHost(id, cfg)
-	if err != nil {
-		t.Fatal(err)
-	}
-	return h
-}
-
 func TestPickHostPrefersIdleHost(t *testing.T) {
-	hosts := []*Host{
-		mustHost(t, 0, HostConfig{PCPUs: 4, Seed: 1, Policy: staticPolicy{}}),
-		mustHost(t, 1, HostConfig{PCPUs: 4, Seed: 2, Policy: staticPolicy{}}),
-	}
 	epoch := 500 * sim.Millisecond
+	probes := make([][]core.VMStat, 2)
+	noExtra := []int{0, 0}
+	var scratch []core.VMStat
 	// Host 0 is saturated by two full-throttle competitors; host 1 idle.
 	stats := [][]core.VMStat{
 		{probeStat(4, 4, epoch), probeStat(4, 4, epoch)},
 		{},
 	}
-	if got := pickHost(hosts, stats, epoch, 2); got != 1 {
+	if got := pickHost(4, epoch, stats, probes, []int{8, 0}, noExtra, 2, &scratch); got != 1 {
 		t.Fatalf("pickHost = %d, want idle host 1", got)
 	}
 	// All equal: ties break to the lower index.
-	if got := pickHost(hosts, [][]core.VMStat{{}, {}}, epoch, 2); got != 0 {
+	empty := [][]core.VMStat{{}, {}}
+	if got := pickHost(4, epoch, empty, probes, noExtra, noExtra, 2, &scratch); got != 0 {
 		t.Fatalf("pickHost on equal hosts = %d, want 0", got)
+	}
+	// Equal extendability, but host 0 took a placement the base snapshot
+	// can't see yet: the committed correction breaks the tie to host 1.
+	if got := pickHost(4, epoch, empty, probes, noExtra, []int{3, 0}, 2, &scratch); got != 1 {
+		t.Fatalf("pickHost with stale-committed correction = %d, want 1", got)
 	}
 }
 

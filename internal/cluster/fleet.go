@@ -13,6 +13,40 @@ import (
 	"vscale/internal/trace"
 )
 
+// SyncMode selects how the fleet's hosts are advanced through virtual
+// time. Both modes produce byte-identical FleetResults for the same
+// config and trace — lockstep is retained as the differential reference
+// for the bounded-lag executor (and CI diffs their outputs).
+type SyncMode string
+
+const (
+	// SyncBoundedLag (the default) advances each host independently on a
+	// persistent worker pool, up to LagEpochs epochs ahead of the slowest
+	// host, synchronizing only at genuine cross-host interaction points:
+	// churn arrivals that need fleet-wide placement snapshots, and the
+	// telemetry collection epoch. See docs/cluster.md.
+	SyncBoundedLag SyncMode = "boundedlag"
+	// SyncLockstep advances every host exactly one epoch per control-
+	// plane step, with a full fan-out/join barrier (one runner.Run call)
+	// per epoch — the original executor, kept as the reference.
+	SyncLockstep SyncMode = "lockstep"
+)
+
+// ParseSyncMode resolves a -sync flag value ("" means bounded-lag).
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch SyncMode(s) {
+	case "", SyncBoundedLag:
+		return SyncBoundedLag, nil
+	case SyncLockstep:
+		return SyncLockstep, nil
+	}
+	return "", fmt.Errorf("cluster: unknown sync mode %q (want %s or %s)", s, SyncLockstep, SyncBoundedLag)
+}
+
+// DefaultLagEpochs is the placement-staleness and run-ahead bound used
+// when FleetConfig.LagEpochs is 0.
+const DefaultLagEpochs = 4
+
 // FleetConfig parameterises one fleet run (one policy over one churn
 // trace).
 type FleetConfig struct {
@@ -21,9 +55,12 @@ type FleetConfig struct {
 	// PCPUsPerHost sizes each host's domU pool.
 	PCPUsPerHost int
 	// Policy names the fleet-wide VM scaling policy; RunFleet
-	// instantiates a fresh instance from the registry (see
+	// instantiates one fresh instance per host from the registry (see
 	// RegisterPolicy), so stateful controllers never leak state across
-	// runs.
+	// runs — and never share state across hosts, which is what lets each
+	// host run its policy pass on its own timeline. Controllers key
+	// their memory per VM name and VMs never migrate, so per-host
+	// instances decide exactly as a shared instance would.
 	Policy string
 	// Seed derives every host's engine seed (runner.DeriveSeed per host
 	// index), so fleets with the same seed are reproducible regardless
@@ -39,22 +76,58 @@ type FleetConfig struct {
 	Drain sim.Time
 	// SLO is the per-request latency objective.
 	SLO sim.Time
-	// Workers bounds the per-epoch host fan-out (0 = GOMAXPROCS).
+	// Workers bounds the host fan-out: the per-epoch runner.Run pool in
+	// lockstep, the persistent runner.Pool in bounded-lag (0 =
+	// GOMAXPROCS).
 	Workers int
+	// Sync selects the executor ("" = SyncBoundedLag). Results are
+	// byte-identical across modes; only wall-clock behaviour differs.
+	Sync SyncMode
+	// LagEpochs bounds both placement staleness and host run-ahead
+	// (0 = DefaultLagEpochs):
+	//
+	//   - An arrival in epoch k is placed with the fleet snapshot
+	//     published at boundary max(0, k-LagEpochs), corrected with
+	//     deterministic probes for VMs placed since — in BOTH sync
+	//     modes, so placement is a pure function of the trace and the
+	//     bound, never of scheduling.
+	//   - In bounded-lag, no host may run more than LagEpochs epochs
+	//     ahead of the slowest host.
+	LagEpochs int
+	// RecordPlacements controls FleetResult.Placements accumulation.
+	// nil defaults to recording (existing callers read placements);
+	// point it at false for scale runs where the unbounded per-VM slice
+	// is dead weight.
+	RecordPlacements *bool
 	// Tracers, when non-nil, holds one tracer per host (index-aligned);
 	// host i's scheduling events are recorded into Tracers[i].
 	Tracers []*trace.Tracer
-	// Report, when non-nil, accumulates the per-epoch host fan-out
-	// accounting (every host-epoch is one runner job).
+	// Report, when non-nil, accumulates the host fan-out accounting: in
+	// lockstep every host-epoch is one runner job; in bounded-lag every
+	// host is one job whose wall clock sums its executor chunks.
 	Report *runner.Report
 	// Telemetry, when non-nil, receives one collection epoch per
 	// control-plane epoch (and one final epoch after the drain): the
-	// control plane samples every host, VM and load generator into the
-	// collector's registry while the engines are parked at the boundary,
-	// then publishes the scrape snapshot and the JSONL record. Purely
-	// observational: the run's results are byte-identical with or
-	// without it.
+	// collector samples every host, VM and load generator while the
+	// engines are parked at the boundary, then publishes the scrape
+	// snapshot and the JSONL record. The collection epoch is a genuine
+	// cross-host sync point, so bounded-lag degrades to epoch pacing
+	// while a collector is attached. Purely observational: the run's
+	// results are byte-identical with or without it.
 	Telemetry *telemetry.Collector
+}
+
+// lag resolves the effective staleness/run-ahead bound.
+func (cfg *FleetConfig) lag() int {
+	if cfg.LagEpochs == 0 {
+		return DefaultLagEpochs
+	}
+	return cfg.LagEpochs
+}
+
+// recordPlacements resolves the RecordPlacements default (on).
+func (cfg *FleetConfig) recordPlacements() bool {
+	return cfg.RecordPlacements == nil || *cfg.RecordPlacements
 }
 
 // Placement records where one VM was admitted.
@@ -70,7 +143,8 @@ type FleetResult struct {
 
 	// Placed/Departed/PhaseChanges count processed churn events.
 	Placed, Departed, PhaseChanges int
-	// Placements lists every admission in trace order.
+	// Placements lists every admission in trace order (nil when
+	// FleetConfig.RecordPlacements points at false).
 	Placements []Placement
 
 	// Load holds the summed per-VM load-generator accounting.
@@ -101,13 +175,14 @@ type FleetResult struct {
 	CentralSweep sim.Time
 }
 
-// RunFleet drives one fleet through a churn trace. The control plane
-// wakes at every epoch boundary: it routes the upcoming epoch's events
-// to their hosts (arrivals are placed with Algorithm 1 over last-epoch
-// telemetry), fans the hosts' engines across the worker pool until the
-// next boundary, then snapshots per-VM consumption. Aggregation walks
-// hosts and VMs in deterministic order, so the result is identical for
-// any worker count.
+// RunFleet drives one fleet through a churn trace. Churn events are
+// routed to hosts in trace order; arrivals are placed with Algorithm 1
+// over bounded-staleness fleet snapshots (see FleetConfig.LagEpochs);
+// each host runs its own per-epoch policy pass at its boundaries. The
+// executor is selected by cfg.Sync: epoch-lockstep barriers or the
+// bounded-lag asynchronous pool. Aggregation walks hosts and VMs in
+// deterministic admission order, so the result is identical for any
+// worker count and either sync mode.
 func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 	if cfg.Hosts <= 0 || cfg.PCPUsPerHost <= 0 {
 		return FleetResult{}, fmt.Errorf("cluster: need positive Hosts and PCPUsPerHost")
@@ -121,24 +196,33 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 	if cfg.Drain <= 0 {
 		cfg.Drain = 2 * sim.Second
 	}
+	if cfg.LagEpochs < 0 {
+		return FleetResult{}, fmt.Errorf("cluster: negative LagEpochs %d", cfg.LagEpochs)
+	}
+	sync, err := ParseSyncMode(string(cfg.Sync))
+	if err != nil {
+		return FleetResult{}, err
+	}
 	if cfg.Tracers != nil && len(cfg.Tracers) != cfg.Hosts {
 		return FleetResult{}, fmt.Errorf("cluster: %d tracers for %d hosts", len(cfg.Tracers), cfg.Hosts)
 	}
-	for i := 1; i < len(events); i++ {
-		if events[i].At < events[i-1].At {
-			return FleetResult{}, fmt.Errorf("cluster: churn trace not sorted at event %d", i)
-		}
-	}
-	// One fresh policy instance per run, shared by every host: Decide is
-	// only ever called from the single-threaded control plane, and
-	// stateful controllers key their memory per VM name.
-	pol, err := NewPolicy(cfg.Policy)
+	plan, err := planEpochs(&cfg, events)
 	if err != nil {
 		return FleetResult{}, err
 	}
 
+	// One fresh policy instance per host: controllers key their memory
+	// per VM name and placement never migrates a VM, so host-sharded
+	// instances produce the decisions a fleet-shared instance would —
+	// while letting every host run its policy pass on its own timeline.
+	pols := make([]ScalingPolicy, cfg.Hosts)
 	hosts := make([]*Host, cfg.Hosts)
 	for i := range hosts {
+		pol, err := NewPolicy(cfg.Policy)
+		if err != nil {
+			return FleetResult{}, err
+		}
+		pols[i] = pol
 		var tr *trace.Tracer
 		if cfg.Tracers != nil {
 			tr = cfg.Tracers[i]
@@ -157,10 +241,27 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 	}
 
 	res := FleetResult{Policy: cfg.Policy, Hosts: cfg.Hosts}
-	stats := make([][]core.VMStat, cfg.Hosts) // last-epoch telemetry
-	owner := map[string]int{}
-	opts := runner.Options{Workers: cfg.Workers, Report: cfg.Report}
+	rt := newFleetRouter(&cfg, plan, &res)
 
+	switch sync {
+	case SyncLockstep:
+		err = runLockstep(&cfg, plan, hosts, pols, rt, &res)
+	default:
+		err = runBoundedLag(&cfg, plan, hosts, pols, rt, &res)
+	}
+	if err != nil {
+		return res, err
+	}
+	if err := aggregate(&cfg, hosts, &res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+// runLockstep is the reference executor: one runner.Run barrier per
+// epoch, boundary work on the control-plane goroutine in host order.
+func runLockstep(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []ScalingPolicy, rt *fleetRouter, res *FleetResult) error {
+	opts := runner.Options{Workers: cfg.Workers, Report: cfg.Report}
 	runEpoch := func(until sim.Time) error {
 		_, err := runner.Run(opts, len(hosts), func(ctx runner.Context) (struct{}, error) {
 			return struct{}{}, hosts[ctx.Index].RunEpoch(until)
@@ -168,65 +269,40 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 		return err
 	}
 
-	evIdx := 0
-	for start := sim.Time(0); start < cfg.Horizon; start += cfg.Epoch {
-		end := start + cfg.Epoch
-		if end > cfg.Horizon {
-			end = cfg.Horizon
+	// Boundary snapshots for placement, retained for the staleness
+	// window: routing epoch k reads boundary plan.base(k).
+	ring := newSnapRing(cfg.Hosts, rt.lag)
+	for k := 0; k < plan.epochs(); k++ {
+		var stats [][]core.VMStat
+		var committed []int
+		if plan.hasArrival[k] {
+			stats, committed = ring.at(rt.baseFor(k))
 		}
-		// Control plane: route this epoch's events. Arrivals are placed
-		// with last-epoch telemetry; same-epoch arrivals see each other
-		// as probes appended to the stats, so a burst spreads out.
-		for evIdx < len(events) && events[evIdx].At < end {
-			ev := events[evIdx]
-			evIdx++
-			if ev.At < start {
-				return res, fmt.Errorf("cluster: event for %s at %v precedes epoch start %v", ev.VM, ev.At, start)
-			}
-			switch ev.Kind {
-			case EventArrive:
-				hIdx := pickHost(hosts, stats, cfg.Epoch, ev.VCPUs)
-				// The VM's seed comes from its arrival index in the trace,
-				// so its RNG streams (and hence the offered load) are the
-				// same wherever it lands and whatever the policy.
-				hosts[hIdx].ScheduleAdd(ev, runner.DeriveSeed(cfg.Seed^0xc2b2ae3d27d4eb4f, res.Placed))
-				owner[ev.VM] = hIdx
-				stats[hIdx] = append(stats[hIdx], probeStat(ev.VCPUs, cfg.PCPUsPerHost, cfg.Epoch))
-				res.Placed++
-				res.Placements = append(res.Placements, Placement{VM: ev.VM, Host: hIdx})
-			case EventPhase:
-				if hIdx, ok := owner[ev.VM]; ok {
-					hosts[hIdx].ScheduleRate(ev)
-					res.PhaseChanges++
-				}
-			case EventDepart:
-				if hIdx, ok := owner[ev.VM]; ok {
-					hosts[hIdx].ScheduleRemove(ev)
-					delete(owner, ev.VM)
-					res.Departed++
-				}
-			default:
-				return res, fmt.Errorf("cluster: unknown event kind %v", ev.Kind)
+		batches, err := rt.routeEpoch(k, stats, committed)
+		if err != nil {
+			return err
+		}
+		if batches != nil {
+			for i, h := range hosts {
+				h.scheduleRouted(batches[i])
 			}
 		}
+		end := plan.ends[k]
 		if err := runEpoch(end); err != nil {
-			return res, err
+			return err
 		}
+		epoch := end - plan.starts[k]
 		for i, h := range hosts {
-			stats[i] = h.Snapshot(end - start)
+			ring.set(k+1, i, h.Snapshot(epoch), h.CommittedVCPUs())
 		}
-		collectTelemetry(cfg.Telemetry, end, hosts, &res, cfg.SLO)
+		collectTelemetry(cfg.Telemetry, end, hosts, res, cfg.SLO, rt.telHist)
 		// Policy pass: every live VM is observed and decided on in host
 		// order then admission order, while all engines are parked at the
 		// boundary. Daemon-driven policies return 0 (their in-guest
 		// mechanism is already steering); a positive target is applied
 		// through the guest balancer and takes effect next epoch.
-		for _, h := range hosts {
-			for _, o := range h.Observations(end - start) {
-				if target := pol.Decide(o); target > 0 {
-					h.ApplyTarget(o.VM, target)
-				}
-			}
+		for i, h := range hosts {
+			h.boundaryPolicy(pols[i], epoch)
 		}
 	}
 
@@ -235,16 +311,22 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 		h.StopAll()
 	}
 	if err := runEpoch(cfg.Horizon + cfg.Drain); err != nil {
-		return res, err
+		return err
 	}
 	// One terminal collection epoch so the scrape endpoint and the JSONL
 	// stream both end on the fully drained state.
-	collectTelemetry(cfg.Telemetry, cfg.Horizon+cfg.Drain, hosts, &res, cfg.SLO)
+	collectTelemetry(cfg.Telemetry, cfg.Horizon+cfg.Drain, hosts, res, cfg.SLO, rt.telHist)
+	return nil
+}
 
-	// Aggregate in host order, then VM admission order — a fixed walk
-	// independent of scheduling interleavings.
+// aggregate folds the finished hosts into the result: a fixed walk in
+// host order, then VM admission order, independent of scheduling
+// interleavings. The merge target histogram is allocated once and each
+// VM's stats pass through one scratch value.
+func aggregate(cfg *FleetConfig, hosts []*Host, res *FleetResult) error {
 	res.Hist = metrics.NewHistogram(metrics.DefaultLatencyBuckets())
 	var util float64
+	var scratch loadgen.Stats
 	vmsPerHost := make([]int, len(hosts))
 	for i, h := range hosts {
 		util += h.Util()
@@ -252,9 +334,10 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 		res.CostVCPUSeconds += h.ProvisionedVCPUSeconds()
 		for _, name := range h.order {
 			vm := h.vms[name]
-			addStats(&res.Load, vm.gen.Stats())
+			scratch = vm.gen.Stats()
+			addStats(&res.Load, scratch)
 			if err := res.Hist.Merge(vm.gen.Hist()); err != nil {
-				return res, err
+				return err
 			}
 			_, decisions := vm.k.DaemonStats()
 			res.Reconfigs += decisions + vm.policyOps
@@ -270,5 +353,5 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 	for _, lat := range d0.FleetSweep(vmsPerHost, dom0.Idle) {
 		res.CentralSweep += lat
 	}
-	return res, nil
+	return nil
 }

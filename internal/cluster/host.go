@@ -179,6 +179,38 @@ func (h *Host) ScheduleRemove(ev Event) {
 	h.eng.At(ev.At, "cluster/depart", func() { h.removeVM(ev.VM) })
 }
 
+// scheduleRouted schedules one epoch's routed churn batch onto the
+// host's engine, in trace order — after any boundary policy IPIs and
+// before the epoch runs, so the engine's event sequence is identical in
+// both sync modes. Called while the engine is parked at the epoch's
+// start boundary: by the control plane in lockstep, by the host's own
+// pool worker in bounded-lag.
+func (h *Host) scheduleRouted(batch []routedEvent) {
+	for _, r := range batch {
+		switch r.ev.Kind {
+		case EventArrive:
+			h.ScheduleAdd(r.ev, r.seed)
+		case EventPhase:
+			h.ScheduleRate(r.ev)
+		case EventDepart:
+			h.ScheduleRemove(r.ev)
+		}
+	}
+}
+
+// boundaryPolicy runs one epoch-boundary policy pass with the host's
+// own policy instance: observe every live VM in admission order
+// (consuming the epoch's load window) and apply positive targets
+// through the guest balancer. Daemon-driven policies return 0 — their
+// in-guest mechanism is already steering.
+func (h *Host) boundaryPolicy(pol ScalingPolicy, epoch sim.Time) {
+	for _, o := range h.Observations(epoch) {
+		if target := pol.Decide(o); target > 0 {
+			h.ApplyTarget(o.VM, target)
+		}
+	}
+}
+
 // addVM boots a VM at the current engine time: a domain weighted per
 // vCPU, a guest kernel wired per the policy's mechanism, an httpd
 // server and its open-loop load generator.

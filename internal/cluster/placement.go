@@ -22,29 +22,53 @@ func probeStat(vcpus, pcpus int, epoch sim.Time) core.VMStat {
 }
 
 // pickHost runs the paper's Algorithm 1 once per host with the new VM
-// appended as a full-throttle competitor to the host's last-epoch
-// telemetry, and returns the index of the host whose probe gets the
-// most CPU extendability — i.e. where the fair-share math says the
-// newcomer (and, symmetrically, the incumbents) will be squeezed
-// least. Ties break toward fewer committed vCPUs, then the lower host
-// index, so placement is deterministic.
-func pickHost(hosts []*Host, stats [][]core.VMStat, epoch sim.Time, vcpus int) int {
+// appended as a full-throttle competitor, and returns the index of the
+// host whose probe gets the most CPU extendability — i.e. where the
+// fair-share math says the newcomer (and, symmetrically, the
+// incumbents) will be squeezed least.
+//
+// It is a pure function of published state, never of live hosts: each
+// host's candidate set is its base-boundary snapshot (stats[i]) plus
+// the router's staleness-correction probes (probes[i], VMs placed since
+// that boundary), plus the newcomer's probe. Ties break toward fewer
+// committed vCPUs (committed[i]+committedExtra[i], the snapshot value
+// corrected for placements since), then the lower host index, so
+// placement is deterministic. scratch is the reusable candidate buffer.
+func pickHost(pcpus int, epoch sim.Time, stats, probes [][]core.VMStat, committed []int, committedExtra []int, vcpus int, scratch *[]core.VMStat) int {
 	best := 0
 	bestExtend := sim.Time(-1)
-	for i, h := range hosts {
-		cand := make([]core.VMStat, 0, len(stats[i])+1)
-		cand = append(cand, stats[i]...)
-		cand = append(cand, probeStat(vcpus, h.cfg.PCPUs, epoch))
-		res := core.ComputeExtendability(cand, h.cfg.PCPUs, epoch)
+	newProbe := probeStat(vcpus, pcpus, epoch)
+	cand := *scratch
+	for i := range probes {
+		var base []core.VMStat
+		var comm int
+		if stats != nil {
+			base = stats[i]
+			comm = committed[i]
+		}
+		need := len(base) + len(probes[i]) + 1
+		if cap(cand) < need {
+			cand = make([]core.VMStat, 0, need*2)
+		}
+		cand = cand[:0]
+		cand = append(cand, base...)
+		cand = append(cand, probes[i]...)
+		cand = append(cand, newProbe)
+		res := core.ComputeExtendability(cand, pcpus, epoch)
 		extend := res[len(res)-1].Extend
 		switch {
 		case extend > bestExtend:
 			best, bestExtend = i, extend
 		case extend == bestExtend:
-			if h.CommittedVCPUs() < hosts[best].CommittedVCPUs() {
+			var bestComm int
+			if stats != nil {
+				bestComm = committed[best]
+			}
+			if comm+committedExtra[i] < bestComm+committedExtra[best] {
 				best = i
 			}
 		}
 	}
+	*scratch = cand
 	return best
 }

@@ -18,7 +18,10 @@ import (
 // or off. All walks follow the fixed host order and each host's VM
 // admission order, so the rendered snapshot (and the JSONL stream) is a
 // deterministic function of the seed.
-func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res *FleetResult, slo sim.Time) {
+// scratch, when non-nil, is the reusable fleet-histogram merge target
+// (reset here), so per-epoch collection stops allocating one histogram
+// per call; the executors keep it on the router for the run's lifetime.
+func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res *FleetResult, slo sim.Time, scratch *metrics.Histogram) {
 	if col == nil {
 		return
 	}
@@ -38,7 +41,12 @@ func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res
 	reg.CounterSeries("vscale_fleet_phase_changes_total",
 		"Workload phase (request-rate) changes applied.").Set(float64(res.PhaseChanges))
 
-	fleetHist := metrics.NewHistogram(metrics.DefaultLatencyBuckets())
+	fleetHist := scratch
+	if fleetHist == nil {
+		fleetHist = metrics.NewHistogram(metrics.DefaultLatencyBuckets())
+	} else {
+		fleetHist.Reset()
+	}
 	var load loadgen.Stats
 	var reconfigs uint64
 	for _, h := range hosts {

@@ -40,7 +40,7 @@ type ClusterResult struct {
 // fleet gets its own collector labelled policy=<p>,hosts=<n>, appending
 // JSONL records in fleet order from the control plane's goroutine, so
 // the stream is byte-identical for any worker count.
-func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus int, horizon, slo sim.Time, policies []string) (ClusterResult, error) {
+func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus int, horizon, slo sim.Time, policies []string, syncMode cluster.SyncMode, lag int) (ClusterResult, error) {
 	if len(hostCounts) == 0 {
 		return ClusterResult{}, fmt.Errorf("cluster: no host counts")
 	}
@@ -77,6 +77,8 @@ func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus 
 				Horizon:      horizon,
 				SLO:          slo,
 				Workers:      opts.Workers,
+				Sync:         syncMode,
+				LagEpochs:    lag,
 				Report:       opts.Report,
 				Telemetry:    col,
 			}

@@ -348,7 +348,7 @@ func TestExtensionAdaptiveTeam(t *testing.T) {
 }
 
 func TestClusterShape(t *testing.T) {
-	r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{2}, 4, 4*sim.Second, 50*sim.Millisecond, nil)
+	r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{2}, 4, 4*sim.Second, 50*sim.Millisecond, nil, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +395,7 @@ func TestClusterShape(t *testing.T) {
 
 func TestClusterPolicySelection(t *testing.T) {
 	r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{1}, 4, 2*sim.Second, 50*sim.Millisecond,
-		[]string{"static", "pid"})
+		[]string{"static", "pid"}, "", 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +414,7 @@ func TestClusterPolicySelection(t *testing.T) {
 func TestClusterParallelDeterminism(t *testing.T) {
 	render := func(workers int) string {
 		r, err := Cluster(runner.Options{Workers: workers, BaseSeed: 3}, nil,
-			[]int{2}, 4, 3*sim.Second, 20*sim.Millisecond, nil)
+			[]int{2}, 4, 3*sim.Second, 20*sim.Millisecond, nil, "", 0)
 		if err != nil {
 			t.Fatal(err)
 		}

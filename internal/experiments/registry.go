@@ -5,6 +5,7 @@ import (
 	"strings"
 	"sync"
 
+	"vscale/internal/cluster"
 	"vscale/internal/runner"
 	"vscale/internal/sim"
 	"vscale/internal/telemetry"
@@ -42,6 +43,12 @@ type Config struct {
 	// competes (registry names, see cluster.ParsePolicies); empty means
 	// every registered policy.
 	Policies []string
+	// Sync selects the cluster fleet executor ("" = bounded-lag; see
+	// cluster.ParseSyncMode). Results are byte-identical across modes.
+	Sync string
+	// LagEpochs bounds cluster placement staleness and host run-ahead
+	// (0 = cluster.DefaultLagEpochs).
+	LagEpochs int
 
 	mu      sync.Mutex
 	npb4    *npbMemo
@@ -439,11 +446,43 @@ func Registry() []Experiment {
 					hostCounts = []int{2}
 					horizon = 8 * sim.Second
 				}
-				r, err := Cluster(c.opts(rep), c.Telemetry, hostCounts, 4, horizon, 50*sim.Millisecond, c.Policies)
+				syncMode, err := cluster.ParseSyncMode(c.Sync)
+				if err != nil {
+					return Result{}, fmt.Errorf("cluster: %w", err)
+				}
+				r, err := Cluster(c.opts(rep), c.Telemetry, hostCounts, 4, horizon, 50*sim.Millisecond, c.Policies, syncMode, c.LagEpochs)
 				if err != nil {
 					return Result{}, fmt.Errorf("cluster: %w", err)
 				}
 				res := Result{Name: "cluster", Text: r.Render(), Metrics: r.Metrics()}
+				if rep.Jobs > 0 {
+					res.Report = rep
+				}
+				return res, nil
+			},
+		},
+		{
+			Name:        "fleetscale",
+			Title:       "Fleet scale — bounded-lag executor scaling (hosts × workers)",
+			Desc:        "the same fleet run at several worker counts up to a thousand hosts; results must match bit for bit, wall clocks land in the bench JSON as a speedup series",
+			QuickParams: "10/100 hosts × 1/2/4/8 workers, 2 s churn",
+			FullParams:  "10/100/1000 hosts × 1/2/4/8 workers, 2 s churn",
+			Run: func(c *Config) (Result, error) {
+				rep := &runner.Report{}
+				hostCounts := []int{10, 100, 1000}
+				if c.Quick {
+					hostCounts = []int{10, 100}
+				}
+				syncMode, err := cluster.ParseSyncMode(c.Sync)
+				if err != nil {
+					return Result{}, fmt.Errorf("fleetscale: %w", err)
+				}
+				r, err := FleetScale(c.opts(rep), hostCounts, []int{1, 2, 4, 8}, 4,
+					2*sim.Second, 50*sim.Millisecond, syncMode, c.LagEpochs)
+				if err != nil {
+					return Result{}, fmt.Errorf("fleetscale: %w", err)
+				}
+				res := Result{Name: "fleetscale", Text: r.Render(), Metrics: r.Metrics()}
 				if rep.Jobs > 0 {
 					res.Report = rep
 				}

@@ -1,0 +1,169 @@
+package runner
+
+import "sync"
+
+// Pool is the persistent counterpart of Run: a bounded set of workers
+// serving numbered work queues for the lifetime of the pool, for
+// callers whose jobs are long-lived streams of work rather than a
+// one-shot batch. The cluster's bounded-lag fleet executor is the
+// canonical user: one queue per host, woken whenever that host may be
+// able to advance.
+//
+// Semantics:
+//
+//   - Wake(q) marks queue q runnable; some worker will call run(q).
+//   - A queue runs on at most one worker at a time, so per-queue state
+//     needs no locking inside run.
+//   - A Wake arriving while the queue's run is in flight coalesces into
+//     exactly one re-run after it returns (the run may have missed the
+//     state change that prompted the wake).
+//   - run decides for itself how much work to do per call; a blocked
+//     queue simply returns and parks until the next Wake.
+//
+// The pool never spins: workers sleep on a condition variable while no
+// queue is runnable.
+type Pool struct {
+	run     func(queue int)
+	workers int
+
+	mu     sync.Mutex
+	cond   *sync.Cond
+	state  []queueState
+	ring   []int // FIFO of runnable queues; each queue appears at most once
+	head   int
+	queued int
+	closed bool
+	wg     sync.WaitGroup
+}
+
+type queueState uint8
+
+const (
+	queueIdle queueState = iota
+	queueReady
+	queueRunning
+	queueDirty // running, with a coalesced re-wake pending
+)
+
+// NewPool starts workers serving the given number of queues. workers
+// follows the Options convention: <= 0 selects GOMAXPROCS, and the
+// effective width never exceeds the queue count. run is invoked
+// concurrently from the pool's workers (for distinct queues only).
+func NewPool(workers, queues int, run func(queue int)) *Pool {
+	w := Options{Workers: workers}.workers(queues)
+	p := &Pool{
+		run:     run,
+		workers: w,
+		state:   make([]queueState, queues),
+		ring:    make([]int, queues),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.wg.Add(w)
+	for i := 0; i < w; i++ {
+		go p.worker()
+	}
+	return p
+}
+
+// Workers returns the effective worker count.
+func (p *Pool) Workers() int { return p.workers }
+
+// Wake marks one queue runnable (coalescing, see Pool). It is a no-op
+// after Close.
+func (p *Pool) Wake(queue int) {
+	p.mu.Lock()
+	if p.wakeLocked(queue) {
+		p.cond.Signal()
+	}
+	p.mu.Unlock()
+}
+
+// WakeAll marks every queue runnable. Cheaper than a Wake loop when a
+// global condition changed (a shared frontier advanced): one lock, one
+// broadcast.
+func (p *Pool) WakeAll() {
+	p.mu.Lock()
+	woke := false
+	for q := range p.state {
+		woke = p.wakeLocked(q) || woke
+	}
+	if woke {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// wakeLocked transitions one queue; it reports whether the queue was
+// newly enqueued (the caller then signals the condition variable).
+func (p *Pool) wakeLocked(queue int) bool {
+	if p.closed {
+		return false
+	}
+	switch p.state[queue] {
+	case queueIdle:
+		p.state[queue] = queueReady
+		p.push(queue)
+		return true
+	case queueRunning:
+		p.state[queue] = queueDirty
+	}
+	return false
+}
+
+// push/pop implement the runnable FIFO as a fixed ring: each queue is
+// enqueued at most once, so capacity len(state) suffices.
+func (p *Pool) push(q int) {
+	p.ring[(p.head+p.queued)%len(p.ring)] = q
+	p.queued++
+}
+
+func (p *Pool) pop() int {
+	q := p.ring[p.head]
+	p.head = (p.head + 1) % len(p.ring)
+	p.queued--
+	return q
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	p.mu.Lock()
+	for {
+		for p.queued == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if p.closed {
+			p.mu.Unlock()
+			return
+		}
+		q := p.pop()
+		p.state[q] = queueRunning
+		p.mu.Unlock()
+
+		p.run(q)
+
+		p.mu.Lock()
+		if p.state[q] == queueDirty {
+			p.state[q] = queueReady
+			p.push(q)
+			p.cond.Signal()
+		} else {
+			p.state[q] = queueIdle
+		}
+	}
+}
+
+// Close shuts the pool down: queued wakes are discarded, in-flight run
+// calls finish, and Close returns once every worker has exited. The
+// caller is expected to have drained its own work first (the executor
+// knows when its run is complete); Close is teardown, not a barrier.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}

@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestPoolRunsEveryWokenQueue: every woken queue is served at least
+// once, and the queue index arrives intact.
+func TestPoolRunsEveryWokenQueue(t *testing.T) {
+	const queues = 64
+	var served [queues]atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(queues)
+	p := NewPool(4, queues, func(q int) {
+		if served[q].Add(1) == 1 {
+			wg.Done()
+		}
+	})
+	defer p.Close()
+	for q := 0; q < queues; q++ {
+		p.Wake(q)
+	}
+	wg.Wait()
+	for q := range served {
+		if served[q].Load() == 0 {
+			t.Fatalf("queue %d never ran", q)
+		}
+	}
+}
+
+// TestPoolPerQueueExclusion: a queue never runs on two workers at once,
+// even under a storm of concurrent wakes, and no queued work item is
+// lost to coalescing (a wake during a run yields a re-run that drains
+// whatever the in-flight run missed).
+func TestPoolPerQueueExclusion(t *testing.T) {
+	const queues = 8
+	const wakers, wakesEach = 4, 100
+	var inFlight, pending [queues]atomic.Int32
+	var violations atomic.Int32
+	var drained atomic.Int64
+	done := make(chan struct{})
+	p := NewPool(8, queues, func(q int) {
+		if inFlight[q].Add(1) != 1 {
+			violations.Add(1)
+		}
+		got := pending[q].Swap(0)
+		time.Sleep(50 * time.Microsecond)
+		inFlight[q].Add(-1)
+		if got > 0 && drained.Add(int64(got)) == wakers*wakesEach {
+			close(done)
+		}
+	})
+	defer p.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < wakers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < wakesEach; i++ {
+				q := (w + i) % queues
+				pending[q].Add(1)
+				p.Wake(q)
+			}
+		}(w)
+	}
+	wg.Wait()
+	<-done
+	if v := violations.Load(); v != 0 {
+		t.Fatalf("%d concurrent runs of the same queue", v)
+	}
+}
+
+// TestPoolWakeDuringRunCoalesces: wakes landing while a queue runs
+// produce exactly one re-run, not one run per wake and not zero.
+func TestPoolWakeDuringRunCoalesces(t *testing.T) {
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var runs atomic.Int32
+	rerun := make(chan struct{})
+	p := NewPool(1, 1, func(q int) {
+		n := runs.Add(1)
+		if n == 1 {
+			close(started)
+			<-release
+		}
+		if n == 2 {
+			close(rerun)
+		}
+	})
+	defer p.Close()
+	p.Wake(0)
+	<-started
+	// Three wakes while running: must coalesce into one re-run.
+	p.Wake(0)
+	p.Wake(0)
+	p.Wake(0)
+	close(release)
+	<-rerun
+	// Give a wrongly-queued third run a chance to happen, then check.
+	time.Sleep(10 * time.Millisecond)
+	if n := runs.Load(); n != 2 {
+		t.Fatalf("got %d runs, want 2 (1 initial + 1 coalesced)", n)
+	}
+}
+
+// TestPoolWakeAll reaches every queue, and a second WakeAll while
+// queues are already pending stays coalesced.
+func TestPoolWakeAll(t *testing.T) {
+	const queues = 32
+	var wg sync.WaitGroup
+	wg.Add(queues)
+	var once [queues]atomic.Bool
+	p := NewPool(3, queues, func(q int) {
+		if once[q].CompareAndSwap(false, true) {
+			wg.Done()
+		}
+	})
+	defer p.Close()
+	p.WakeAll()
+	p.WakeAll()
+	wg.Wait()
+}
+
+// TestPoolCloseStopsWork: after Close returns no run is in flight, and
+// Wake afterwards is a harmless no-op. Close is idempotent.
+func TestPoolCloseStopsWork(t *testing.T) {
+	var running atomic.Int32
+	p := NewPool(2, 4, func(q int) {
+		running.Add(1)
+		time.Sleep(time.Millisecond)
+		running.Add(-1)
+	})
+	for q := 0; q < 4; q++ {
+		p.Wake(q)
+	}
+	p.Close()
+	if n := running.Load(); n != 0 {
+		t.Fatalf("%d runs in flight after Close", n)
+	}
+	p.Wake(0) // no-op, must not panic
+	p.Close() // idempotent
+}
+
+// TestPoolWorkersCap: the effective width follows the Options
+// convention (capped at the queue count, floor 1).
+func TestPoolWorkersCap(t *testing.T) {
+	p := NewPool(8, 3, func(int) {})
+	if got := p.Workers(); got != 3 {
+		t.Fatalf("workers = %d, want 3", got)
+	}
+	p.Close()
+	p = NewPool(1, 100, func(int) {})
+	if got := p.Workers(); got != 1 {
+		t.Fatalf("workers = %d, want 1", got)
+	}
+	p.Close()
+}
