@@ -27,6 +27,12 @@
 // default, lockstep as the differential reference) and its staleness
 // bound; stdout is byte-identical across both.
 //
+// -warm-epochs gives every cluster fleet a policy-neutral warm-up
+// prefix; -warmfork simulates it once per host count and forks each
+// policy from the snapshot (bit-identical results, less wall clock);
+// -checkpoint/-restore persist and reuse the warm-prefix snapshot
+// (vscale-checkpoint/v1) across invocations. See docs/checkpoint.md.
+//
 // -benchworkers runs the selected experiments once per listed worker
 // count, each pass with a fresh config (so memoized sweeps cannot make
 // later passes artificially cheap), asserts the passes' stdout is
@@ -107,6 +113,10 @@ func main() {
 	policies := flag.String("policies", "all", "comma-separated scaling policies for the cluster experiment (or 'all'; registry names)")
 	syncFlag := flag.String("sync", "", "cluster fleet executor, lockstep | boundedlag (default boundedlag); stdout is byte-identical across modes")
 	lagFlag := flag.Int("lag", 0, "cluster placement-staleness/run-ahead bound, epochs (0 = default)")
+	warmEpochs := flag.Int("warm-epochs", 0, "policy-neutral warm-up prefix for cluster fleets, epochs (0 = experiment defaults)")
+	warmFork := flag.Bool("warmfork", false, "cluster: simulate the warm prefix once per host count and fork every policy from the snapshot (requires -warm-epochs)")
+	checkpointFlag := flag.String("checkpoint", "", "cluster: write the warm-prefix snapshot (vscale-checkpoint/v1) to this file")
+	restoreFlag := flag.String("restore", "", "cluster: fork the policies from a previously written snapshot instead of simulating the warm prefix")
 	benchWorkers := flag.String("benchworkers", "", "comma-separated worker counts: run the selection once per count with a fresh config, assert identical stdout, record the speedup series in -benchjson")
 	seed := flag.Uint64("seed", 1, "base seed for per-run seed derivation")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this path")
@@ -202,6 +212,10 @@ func main() {
 		cfg.Policies = pols
 		cfg.Sync = *syncFlag
 		cfg.LagEpochs = *lagFlag
+		cfg.WarmEpochs = *warmEpochs
+		cfg.WarmFork = *warmFork
+		cfg.CheckpointPath = *checkpointFlag
+		cfg.RestorePath = *restoreFlag
 		return cfg
 	}
 

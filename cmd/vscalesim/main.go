@@ -42,6 +42,13 @@
 // differential reference) and -lag its staleness/run-ahead bound —
 // stdout is byte-identical across both and across -parallel settings.
 // See docs/cluster.md.
+//
+// -warm-epochs gives every fleet run a policy-neutral warm-up prefix;
+// -warmfork simulates that prefix once and forks each competed policy
+// from the snapshot (bit-identical results, less wall clock);
+// -checkpoint persists the warm-prefix snapshot (vscale-checkpoint/v1)
+// and -restore forks the policies from a previously written one. See
+// docs/checkpoint.md.
 package main
 
 import (
@@ -89,6 +96,10 @@ func main() {
 	horizonSecs := flag.Float64("horizon", 8, "fleet mode: churn horizon, seconds")
 	syncFlag := flag.String("sync", "", "fleet mode: executor, lockstep | boundedlag (default boundedlag); results are byte-identical across modes")
 	lagFlag := flag.Int("lag", 0, "fleet mode: placement-staleness/run-ahead bound in epochs (0 = default)")
+	warmEpochs := flag.Int("warm-epochs", 0, "fleet mode: policy-neutral warm-up prefix, epochs (0 = none)")
+	warmFork := flag.Bool("warmfork", false, "fleet mode: simulate the warm prefix once and fork every policy from the snapshot (requires -warm-epochs)")
+	checkpointPath := flag.String("checkpoint", "", "fleet mode: write the warm-prefix snapshot (vscale-checkpoint/v1) to this file")
+	restorePath := flag.String("restore", "", "fleet mode: fork the policies from a previously written snapshot instead of simulating the warm prefix")
 	nobg := flag.Bool("dedicated", false, "no background VMs")
 	maxSecs := flag.Float64("max", 600, "simulation deadline, seconds")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
@@ -152,6 +163,10 @@ func main() {
 	// fleet shoot-out. The sink above still serves/streams telemetry;
 	// stdout is the scoreboard with its cost-vs-attainment frontier and
 	// is byte-identical for every -parallel setting.
+	if *policiesFlag == "" && (*warmEpochs != 0 || *warmFork || *checkpointPath != "" || *restorePath != "") {
+		fmt.Fprintln(os.Stderr, "-warm-epochs/-warmfork/-checkpoint/-restore are fleet-mode flags; add -policies")
+		os.Exit(2)
+	}
 	if *policiesFlag != "" {
 		pols, err := cluster.ParsePolicies(*policiesFlag)
 		if err != nil {
@@ -163,8 +178,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(2)
 		}
+		warm := experiments.ClusterWarm{
+			Epochs:         *warmEpochs,
+			Fork:           *warmFork,
+			CheckpointPath: *checkpointPath,
+			RestorePath:    *restorePath,
+		}
 		r, err := experiments.Cluster(runner.Options{Workers: *parallel, BaseSeed: *seed},
-			sink, []int{*hosts}, *pcpus, sim.FromSeconds(*horizonSecs), sim.FromMillis(*sloMs), pols, syncMode, *lagFlag)
+			sink, []int{*hosts}, *pcpus, sim.FromSeconds(*horizonSecs), sim.FromMillis(*sloMs), pols, syncMode, *lagFlag, warm)
 		fatal(err)
 		fmt.Print(r.Render())
 		if telemetryFile != nil {
@@ -270,7 +291,7 @@ func main() {
 				SLO: sim.FromMillis(*sloMs),
 			})
 			telGen = gen
-			warm := 2 * sim.Second
+			warm := scenario.DefaultWarmup
 			if err := runObserved(b.Eng, warm, epoch, observe); err != nil {
 				return "", err
 			}

@@ -44,6 +44,11 @@ type asyncFleet struct {
 	res   *FleetResult
 	lead  int // run-ahead bound (0 while telemetry is attached)
 	last  int // plan.epochs(); epoch index `last` is the drain step
+	// telFrom is the first boundary with a collection epoch (the warm
+	// boundary when a warm prefix is configured); ckpt is the capture
+	// boundary (cfg.CheckpointEpoch, 0 for none).
+	telFrom int
+	ckpt    int
 
 	pool *runner.Pool
 
@@ -63,6 +68,9 @@ type asyncFleet struct {
 	// telemetryDone is the last boundary whose collection epoch has
 	// closed (only consulted when a collector is attached).
 	telemetryDone int
+	// ckptDone opens the capture gate: hosts parked at the checkpoint
+	// boundary resume once the control plane has captured the fleet.
+	ckptDone bool
 	// batches[i][k] is host i's routed churn for epoch k; written by the
 	// router before it publishes routed = k+1.
 	batches [][][]routedEvent
@@ -91,7 +99,10 @@ type hostSnap struct {
 var testEpochHook func(host, epoch int)
 
 // runBoundedLag executes the fleet asynchronously; see asyncFleet.
-func runBoundedLag(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []ScalingPolicy, rt *fleetRouter, res *FleetResult) error {
+// start is the first epoch to run (the capture boundary when resuming
+// from a checkpoint); pre preloads the retained placement snapshots a
+// restored run still owes the router.
+func runBoundedLag(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []ScalingPolicy, rt *fleetRouter, res *FleetResult, start int, pre []RingBoundary) error {
 	f := &asyncFleet{
 		cfg:           cfg,
 		plan:          plan,
@@ -101,7 +112,11 @@ func runBoundedLag(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scal
 		res:           res,
 		lead:          rt.lag,
 		last:          plan.epochs(),
+		telFrom:       telemetryFrom(cfg),
+		ckpt:          cfg.CheckpointEpoch,
+		routed:        start,
 		done:          make([]int, len(hosts)),
+		minDone:       start,
 		minCount:      len(hosts),
 		pendingPolicy: make([]bool, len(hosts)),
 		batches:       make([][][]routedEvent, len(hosts)),
@@ -109,9 +124,21 @@ func runBoundedLag(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scal
 		hostWall:      make([]time.Duration, len(hosts)),
 	}
 	f.cond = sync.NewCond(&f.mu)
+	tel := cfg.Telemetry != nil
 	for i := range hosts {
 		f.batches[i] = make([][]routedEvent, f.last)
 		f.snaps[i] = map[int]hostSnap{}
+		f.done[i] = start
+		// A restored run starts with the capture boundary's work still
+		// owed (its collection epoch and, past the warm boundary, its
+		// policy pass) — exactly what the uninterrupted run performed
+		// there after capturing.
+		f.pendingPolicy[i] = start > cfg.WarmEpochs || (tel && start >= f.telFrom)
+	}
+	for _, rb := range pre {
+		for i := range hosts {
+			f.snaps[i][rb.Boundary] = hostSnap{stats: rb.Stats[i], committed: rb.Committed[i]}
+		}
 	}
 	if cfg.Telemetry != nil {
 		// Every collection epoch samples all hosts parked at one
@@ -121,7 +148,7 @@ func runBoundedLag(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scal
 		f.lead = 0
 	}
 
-	start := time.Now()
+	wall := time.Now()
 	f.pool = runner.NewPool(cfg.Workers, len(hosts), f.advance)
 	f.pool.WakeAll()
 	err := f.route()
@@ -134,7 +161,7 @@ func runBoundedLag(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scal
 		if w := f.pool.Workers(); w > rep.Workers {
 			rep.Workers = w
 		}
-		rep.Wall += time.Since(start)
+		rep.Wall += time.Since(wall)
 		rep.JobWall = append(rep.JobWall, f.hostWall...)
 	}
 	return err
@@ -147,8 +174,18 @@ func runBoundedLag(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scal
 // every host to drain.
 func (f *asyncFleet) route() error {
 	tel := f.cfg.Telemetry != nil
-	for k := 0; k < f.last; k++ {
-		if tel && k > 0 {
+	start := f.routed
+	for k := start; k < f.last; k++ {
+		if f.ckpt > 0 && k == f.ckpt {
+			// The capture barrier precedes boundary k's collection epoch,
+			// exactly as in lockstep: the snapshot excludes the boundary's
+			// own collection and policy work, which the restored run
+			// replays.
+			if err := f.captureBarrier(); err != nil {
+				return err
+			}
+		}
+		if tel && k >= f.telFrom {
 			// Boundary k's collection epoch precedes epoch k's routing,
 			// exactly as in lockstep (counters reflect epochs [0, k)).
 			if err := f.collectBoundary(k, f.plan.ends[k-1]); err != nil {
@@ -232,6 +269,76 @@ func (f *asyncFleet) collectBoundary(k int, now sim.Time) error {
 	return nil
 }
 
+// captureBarrier waits until every host is parked at the checkpoint
+// boundary (their boundary work gated on ckptDone), captures the fleet
+// while all engines are frozen, then opens the gate. The capture is
+// read-only, so the continuing run is byte-identical to one that never
+// captured (beyond the quiesce barrier both share).
+func (f *asyncFleet) captureBarrier() error {
+	b := f.ckpt
+	f.mu.Lock()
+	for f.minDone < b && f.failErr == nil {
+		f.cond.Wait()
+	}
+	if f.failErr != nil {
+		f.mu.Unlock()
+		return f.failErr
+	}
+	ring := f.ringLocked(b)
+	f.mu.Unlock()
+	// No host can be past boundary b (its boundary work needs ckptDone),
+	// so every engine is frozen while we read.
+	var err error
+	if f.cfg.CheckpointPath != "" {
+		var cp *FleetCheckpoint
+		cp, err = captureFleet(f.cfg, f.hosts, f.pols, f.rt, f.res, ring, b, f.plan.ends[b-1])
+		if err == nil {
+			err = SaveCheckpoint(f.cfg.CheckpointPath, cp)
+		}
+	}
+	f.mu.Lock()
+	if err != nil {
+		f.failLocked(err, b, -1)
+		f.mu.Unlock()
+		f.pool.WakeAll()
+		return err
+	}
+	f.ckptDone = true
+	f.mu.Unlock()
+	f.pool.WakeAll()
+	return nil
+}
+
+// ringLocked assembles the retained placement-snapshot window at a
+// capture boundary b — the bounded-lag analogue of ringBoundaries. The
+// snaps maps still hold every needed boundary in [b-lag, b]: an entry
+// at x is consumed by arrival epoch x+lag >= b, which is not yet
+// routed. Entries are copied, not consumed.
+func (f *asyncFleet) ringLocked(b int) []RingBoundary {
+	var out []RingBoundary
+	lo := b - f.rt.lag
+	if lo < 1 {
+		lo = 1
+	}
+	for x := lo; x <= b; x++ {
+		if !f.rt.needBoundary(x) {
+			continue
+		}
+		stats := make([][]core.VMStat, len(f.hosts))
+		committed := make([]int, len(f.hosts))
+		for i := range f.hosts {
+			s, ok := f.snaps[i][x]
+			if !ok {
+				panic(fmt.Sprintf("cluster: host %d never published boundary %d", i, x))
+			}
+			stats[i] = s.stats
+			committed[i] = s.committed
+		}
+		out = append(out, RingBoundary{Boundary: x, Stats: stats, Committed: committed})
+	}
+	return out
+}
+
 // gatherLocked assembles the fleet snapshot at boundary b, consuming
 // the hosts' published entries. Boundary 0 is the empty initial fleet.
 func (f *asyncFleet) gatherLocked(b int) ([][]core.VMStat, []int) {
@@ -265,15 +372,30 @@ func (f *asyncFleet) advance(i int) {
 		}
 		k := f.done[i]
 		if f.pendingPolicy[i] {
-			if f.cfg.Telemetry != nil && f.telemetryDone < k {
+			if f.cfg.Telemetry != nil && k >= f.telFrom && f.telemetryDone < k {
 				f.mu.Unlock()
 				return // park until boundary k's collection epoch closes
 			}
+			if f.ckpt > 0 && k == f.ckpt && !f.ckptDone {
+				f.mu.Unlock()
+				return // park until the control plane captured the fleet
+			}
+			resume := f.ckpt > 0 && k == f.ckpt
 			f.mu.Unlock()
-			t0 := time.Now()
-			h.boundaryPolicy(f.pols[i], f.plan.ends[k-1]-f.plan.starts[k-1])
-			f.mu.Lock()
-			f.hostWall[i] += time.Since(t0)
+			if resume {
+				// Post-capture: release this host's quiesce barrier, on the
+				// host's own timeline (the engines of hosts still running
+				// their policy passes must not be touched from here).
+				h.ResumeLoad()
+			}
+			if k > f.cfg.WarmEpochs {
+				t0 := time.Now()
+				h.boundaryPolicy(f.pols[i], f.plan.ends[k-1]-f.plan.starts[k-1])
+				f.mu.Lock()
+				f.hostWall[i] += time.Since(t0)
+			} else {
+				f.mu.Lock()
+			}
 			f.pendingPolicy[i] = false
 			f.mu.Unlock()
 			continue
@@ -297,9 +419,19 @@ func (f *asyncFleet) advance(i int) {
 		committed := 0
 		if k < f.last {
 			h.scheduleRouted(f.batches[i][k])
+			if quiesceBefore(f.cfg, k) {
+				// After the batch, matching lockstep's engine event order.
+				h.ScheduleQuiesce(f.plan.starts[k])
+			}
 			if err = h.RunEpoch(f.plan.ends[k]); err == nil {
 				snap = h.Snapshot(f.plan.ends[k] - f.plan.starts[k])
 				committed = h.CommittedVCPUs()
+				if f.cfg.WarmEpochs > 0 && k+1 == f.cfg.WarmEpochs {
+					// The warm boundary: arm the mechanisms and resume the
+					// load before publishing done = k+1 — the same
+					// Snapshot-then-Arm order lockstep uses at its barrier.
+					h.Arm()
+				}
 			}
 		} else {
 			// The drain step: all churn epochs are behind us (the routing
@@ -320,7 +452,11 @@ func (f *asyncFleet) advance(i int) {
 			if f.rt.needBoundary(k + 1) {
 				f.snaps[i][k+1] = hostSnap{stats: snap, committed: committed}
 			}
-			f.pendingPolicy[i] = true
+			// Boundary k+1 owes work unless it is inside the warm prefix:
+			// a policy pass past the warm boundary, and the collection /
+			// capture gates from the boundary itself.
+			f.pendingPolicy[i] = k+1 > f.cfg.WarmEpochs ||
+				(f.cfg.Telemetry != nil && k+1 >= f.telFrom)
 		}
 		f.done[i] = k + 1
 		f.bumpMinLocked(k)

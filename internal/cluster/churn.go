@@ -185,10 +185,17 @@ func FormatTrace(w io.Writer, events []Event) error {
 }
 
 // ParseTrace reads the vscale-churn/v1 text format back into events.
+// Beyond the per-line grammar it validates the trace semantically —
+// timestamps non-negative and sorted, every VM arriving exactly once
+// before any of its phase/depart events, positive vCPU counts and
+// non-negative rates — so a malformed hand-edited trace fails here
+// with a line number instead of corrupting a fleet run.
 func ParseTrace(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	lineno := 0
 	var events []Event
+	arrived := map[string]bool{} // ever arrived (names key per-VM state downstream)
+	alive := map[string]bool{}   // arrived and not yet departed
 	for sc.Scan() {
 		lineno++
 		line := strings.TrimSpace(sc.Text())
@@ -212,6 +219,13 @@ func ParseTrace(r io.Reader) ([]Event, error) {
 		if err != nil {
 			return nil, fmt.Errorf("cluster: line %d: bad timestamp: %v", lineno, err)
 		}
+		if ns < 0 {
+			return nil, fmt.Errorf("cluster: line %d: negative timestamp %d", lineno, ns)
+		}
+		if len(events) > 0 && sim.Time(ns) < events[len(events)-1].At {
+			return nil, fmt.Errorf("cluster: line %d: timestamp %d before previous event at %d (trace not sorted)",
+				lineno, ns, int64(events[len(events)-1].At))
+		}
 		ev := Event{At: sim.Time(ns), VM: fields[2]}
 		kv := func(s, key string) (string, error) {
 			if !strings.HasPrefix(s, key+"=") {
@@ -232,6 +246,9 @@ func ParseTrace(r io.Reader) ([]Event, error) {
 			if ev.VCPUs, err = strconv.Atoi(vs); err != nil {
 				return nil, fmt.Errorf("cluster: line %d: bad vcpus: %v", lineno, err)
 			}
+			if ev.VCPUs <= 0 {
+				return nil, fmt.Errorf("cluster: line %d: VM %s arrives with %d vcpus", lineno, ev.VM, ev.VCPUs)
+			}
 			rs, err := kv(fields[4], "rate")
 			if err != nil {
 				return nil, err
@@ -239,6 +256,11 @@ func ParseTrace(r io.Reader) ([]Event, error) {
 			if ev.RateRPS, err = strconv.ParseFloat(rs, 64); err != nil {
 				return nil, fmt.Errorf("cluster: line %d: bad rate: %v", lineno, err)
 			}
+			if arrived[ev.VM] {
+				return nil, fmt.Errorf("cluster: line %d: VM %s arrives twice", lineno, ev.VM)
+			}
+			arrived[ev.VM] = true
+			alive[ev.VM] = true
 		case "phase":
 			ev.Kind = EventPhase
 			if len(fields) != 4 {
@@ -251,13 +273,23 @@ func ParseTrace(r io.Reader) ([]Event, error) {
 			if ev.RateRPS, err = strconv.ParseFloat(rs, 64); err != nil {
 				return nil, fmt.Errorf("cluster: line %d: bad rate: %v", lineno, err)
 			}
+			if !alive[ev.VM] {
+				return nil, fmt.Errorf("cluster: line %d: phase for VM %s, which has not arrived", lineno, ev.VM)
+			}
 		case "depart":
 			ev.Kind = EventDepart
 			if len(fields) != 3 {
 				return nil, fmt.Errorf("cluster: line %d: depart takes no arguments", lineno)
 			}
+			if !alive[ev.VM] {
+				return nil, fmt.Errorf("cluster: line %d: depart for VM %s, which has not arrived", lineno, ev.VM)
+			}
+			delete(alive, ev.VM)
 		default:
 			return nil, fmt.Errorf("cluster: line %d: unknown event %q", lineno, fields[1])
+		}
+		if ev.RateRPS < 0 {
+			return nil, fmt.Errorf("cluster: line %d: negative rate %g", lineno, ev.RateRPS)
 		}
 		events = append(events, ev)
 	}

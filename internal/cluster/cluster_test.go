@@ -73,19 +73,51 @@ func TestTraceFormatRoundTrip(t *testing.T) {
 }
 
 func TestParseTraceErrors(t *testing.T) {
-	for _, bad := range []string{
-		"",
-		"not a header\n",
-		"# vscale-churn/v1\nxyz arrive vm0 vcpus=2 rate=100\n",
-		"# vscale-churn/v1\n100 explode vm0\n",
-		"# vscale-churn/v1\n100 arrive vm0 vcpus=2\n",
-		"# vscale-churn/v1\n100 arrive vm0 rate=5 vcpus=2\n",
-		"# vscale-churn/v1\n100 phase vm0\n",
-		"# vscale-churn/v1\n100 depart vm0 extra\n",
-	} {
-		if _, err := ParseTrace(strings.NewReader(bad)); err == nil {
-			t.Errorf("ParseTrace(%q): want error", bad)
-		}
+	const hdr = "# vscale-churn/v1\n"
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string
+	}{
+		{"empty", "", "empty trace"},
+		{"bad header", "not a header\n", "want header"},
+		{"bad timestamp", hdr + "xyz arrive vm0 vcpus=2 rate=100\n", "bad timestamp"},
+		{"negative timestamp", hdr + "-5 arrive vm0 vcpus=2 rate=100\n", "negative timestamp"},
+		{"unsorted", hdr + "200 arrive vm0 vcpus=2 rate=100\n100 arrive vm1 vcpus=2 rate=100\n", "not sorted"},
+		{"unknown kind", hdr + "100 explode vm0\n", "unknown event"},
+		{"arrive missing rate", hdr + "100 arrive vm0 vcpus=2\n", "arrive needs"},
+		{"arrive swapped keys", hdr + "100 arrive vm0 rate=5 vcpus=2\n", "want vcpus="},
+		{"arrive zero vcpus", hdr + "100 arrive vm0 vcpus=0 rate=100\n", "0 vcpus"},
+		{"arrive negative rate", hdr + "100 arrive vm0 vcpus=2 rate=-3\n", "negative rate"},
+		{"duplicate arrival", hdr + "100 arrive vm0 vcpus=2 rate=100\n200 arrive vm0 vcpus=2 rate=100\n", "arrives twice"},
+		{"re-arrival after depart", hdr + "100 arrive vm0 vcpus=2 rate=100\n200 depart vm0\n300 arrive vm0 vcpus=2 rate=100\n", "arrives twice"},
+		{"phase missing rate", hdr + "100 phase vm0\n", "phase needs"},
+		{"phase before arrival", hdr + "100 phase vm0 rate=100\n", "has not arrived"},
+		{"phase after depart", hdr + "100 arrive vm0 vcpus=2 rate=100\n200 depart vm0\n300 phase vm0 rate=50\n", "has not arrived"},
+		{"depart extra args", hdr + "100 depart vm0 extra\n", "no arguments"},
+		{"depart before arrival", hdr + "100 depart vm0\n", "has not arrived"},
+		{"double depart", hdr + "100 arrive vm0 vcpus=2 rate=100\n200 depart vm0\n300 depart vm0\n", "has not arrived"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseTrace(strings.NewReader(tc.in))
+			if err == nil {
+				t.Fatalf("ParseTrace(%q): want error containing %q", tc.in, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("ParseTrace(%q) = %v, want error containing %q", tc.in, err, tc.wantErr)
+			}
+		})
+	}
+	// Equal timestamps are legal (ties keep file order), as are comments
+	// and blank lines after the header.
+	ok := hdr + "\n# comment\n100 arrive vm0 vcpus=2 rate=100\n100 arrive vm1 vcpus=4 rate=50\n100 phase vm0 rate=0\n200 depart vm1\n"
+	events, err := ParseTrace(strings.NewReader(ok))
+	if err != nil {
+		t.Fatalf("valid trace rejected: %v", err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("parsed %d events, want 4", len(events))
 	}
 }
 

@@ -47,6 +47,11 @@ func ParseSyncMode(s string) (SyncMode, error) {
 // when FleetConfig.LagEpochs is 0.
 const DefaultLagEpochs = 4
 
+// DefaultEpoch is the control-plane period used when FleetConfig.Epoch
+// is 0: placement decisions, telemetry snapshots and policy passes
+// happen every DefaultEpoch of virtual time.
+const DefaultEpoch = 500 * sim.Millisecond
+
 // FleetConfig parameterises one fleet run (one policy over one churn
 // trace).
 type FleetConfig struct {
@@ -115,6 +120,27 @@ type FleetConfig struct {
 	// while a collector is attached. Purely observational: the run's
 	// results are byte-identical with or without it.
 	Telemetry *telemetry.Collector
+	// WarmEpochs, when > 0, marks epochs [0, WarmEpochs) as a policy-
+	// neutral warm-up prefix: hosts are built with their mechanisms
+	// disarmed, no telemetry is collected and no policy pass runs until
+	// the fleet arms at boundary WarmEpochs. Over the last warm epoch
+	// every load generator pauses (the quiesce barrier) so the fleet is
+	// drained — and checkpointable — at the warm boundary; the generators
+	// resume as the mechanisms arm and the measured window begins. The
+	// prefix is identical for every policy, which is what
+	// CaptureWarmPrefix / RunFleetFork exploit: simulate it once per
+	// (trace, seed), fork every policy variant from the snapshot
+	// (docs/checkpoint.md).
+	WarmEpochs int
+	// CheckpointEpoch, when > 0, quiesces the fleet over epoch
+	// CheckpointEpoch-1, captures it at that boundary, resumes the load
+	// and continues. Must lie strictly between WarmEpochs and the number
+	// of churn epochs; incompatible with Tracers (not checkpointable).
+	CheckpointEpoch int
+	// CheckpointPath is where the CheckpointEpoch capture is written. An
+	// empty path runs the identical quiesce barrier without writing a
+	// file — the reference arm of the restore-identity tests.
+	CheckpointPath string
 }
 
 // lag resolves the effective staleness/run-ahead bound.
@@ -184,60 +210,13 @@ type FleetResult struct {
 // deterministic admission order, so the result is identical for any
 // worker count and either sync mode.
 func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
-	if cfg.Hosts <= 0 || cfg.PCPUsPerHost <= 0 {
-		return FleetResult{}, fmt.Errorf("cluster: need positive Hosts and PCPUsPerHost")
-	}
-	if cfg.Horizon <= 0 {
-		return FleetResult{}, fmt.Errorf("cluster: need a positive Horizon")
-	}
-	if cfg.Epoch <= 0 {
-		cfg.Epoch = 500 * sim.Millisecond
-	}
-	if cfg.Drain <= 0 {
-		cfg.Drain = 2 * sim.Second
-	}
-	if cfg.LagEpochs < 0 {
-		return FleetResult{}, fmt.Errorf("cluster: negative LagEpochs %d", cfg.LagEpochs)
-	}
-	sync, err := ParseSyncMode(string(cfg.Sync))
+	plan, sync, err := prepareFleet(&cfg, events)
 	if err != nil {
 		return FleetResult{}, err
 	}
-	if cfg.Tracers != nil && len(cfg.Tracers) != cfg.Hosts {
-		return FleetResult{}, fmt.Errorf("cluster: %d tracers for %d hosts", len(cfg.Tracers), cfg.Hosts)
-	}
-	plan, err := planEpochs(&cfg, events)
+	pols, hosts, err := buildFleetHosts(&cfg)
 	if err != nil {
 		return FleetResult{}, err
-	}
-
-	// One fresh policy instance per host: controllers key their memory
-	// per VM name and placement never migrates a VM, so host-sharded
-	// instances produce the decisions a fleet-shared instance would —
-	// while letting every host run its policy pass on its own timeline.
-	pols := make([]ScalingPolicy, cfg.Hosts)
-	hosts := make([]*Host, cfg.Hosts)
-	for i := range hosts {
-		pol, err := NewPolicy(cfg.Policy)
-		if err != nil {
-			return FleetResult{}, err
-		}
-		pols[i] = pol
-		var tr *trace.Tracer
-		if cfg.Tracers != nil {
-			tr = cfg.Tracers[i]
-		}
-		h, err := NewHost(i, HostConfig{
-			PCPUs:  cfg.PCPUsPerHost,
-			Seed:   runner.DeriveSeed(cfg.Seed, i),
-			Policy: pol,
-			SLO:    cfg.SLO,
-			Tracer: tr,
-		})
-		if err != nil {
-			return FleetResult{}, err
-		}
-		hosts[i] = h
 	}
 
 	res := FleetResult{Policy: cfg.Policy, Hosts: cfg.Hosts}
@@ -245,9 +224,10 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 
 	switch sync {
 	case SyncLockstep:
-		err = runLockstep(&cfg, plan, hosts, pols, rt, &res)
+		ring := newSnapRing(cfg.Hosts, rt.lag)
+		err = runLockstep(&cfg, plan, hosts, pols, rt, &res, ring, 0, 0)
 	default:
-		err = runBoundedLag(&cfg, plan, hosts, pols, rt, &res)
+		err = runBoundedLag(&cfg, plan, hosts, pols, rt, &res, 0, nil)
 	}
 	if err != nil {
 		return res, err
@@ -258,9 +238,114 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 	return res, nil
 }
 
+// prepareFleet validates a fleet configuration in place (applying the
+// Epoch/Drain defaults) and builds the epoch plan — the shared front
+// half of RunFleet, CaptureWarmPrefix and RunFleetFork.
+func prepareFleet(cfg *FleetConfig, events []Event) (*epochPlan, SyncMode, error) {
+	if cfg.Hosts <= 0 || cfg.PCPUsPerHost <= 0 {
+		return nil, "", fmt.Errorf("cluster: need positive Hosts and PCPUsPerHost")
+	}
+	if cfg.Horizon <= 0 {
+		return nil, "", fmt.Errorf("cluster: need a positive Horizon")
+	}
+	if cfg.Epoch <= 0 {
+		cfg.Epoch = DefaultEpoch
+	}
+	if cfg.Drain <= 0 {
+		cfg.Drain = 2 * sim.Second
+	}
+	if cfg.LagEpochs < 0 {
+		return nil, "", fmt.Errorf("cluster: negative LagEpochs %d", cfg.LagEpochs)
+	}
+	sync, err := ParseSyncMode(string(cfg.Sync))
+	if err != nil {
+		return nil, "", err
+	}
+	if cfg.Tracers != nil && len(cfg.Tracers) != cfg.Hosts {
+		return nil, "", fmt.Errorf("cluster: %d tracers for %d hosts", len(cfg.Tracers), cfg.Hosts)
+	}
+	plan, err := planEpochs(cfg, events)
+	if err != nil {
+		return nil, "", err
+	}
+	if cfg.WarmEpochs < 0 || cfg.WarmEpochs >= plan.epochs() {
+		return nil, "", fmt.Errorf("cluster: WarmEpochs %d outside [0, %d)", cfg.WarmEpochs, plan.epochs())
+	}
+	if cfg.CheckpointEpoch != 0 {
+		if cfg.CheckpointEpoch <= cfg.WarmEpochs || cfg.CheckpointEpoch >= plan.epochs() {
+			return nil, "", fmt.Errorf("cluster: CheckpointEpoch %d outside (%d, %d)",
+				cfg.CheckpointEpoch, cfg.WarmEpochs, plan.epochs())
+		}
+		if cfg.Tracers != nil {
+			return nil, "", fmt.Errorf("cluster: tracers are not checkpointable")
+		}
+	}
+	return plan, sync, nil
+}
+
+// buildFleetHosts constructs the fleet's hosts and policy instances.
+// One fresh policy instance per host: controllers key their memory per
+// VM name and placement never migrates a VM, so host-sharded instances
+// produce the decisions a fleet-shared instance would — while letting
+// every host run its policy pass on its own timeline. Hosts start
+// disarmed when a warm prefix is configured; Arm fires at its boundary.
+func buildFleetHosts(cfg *FleetConfig) ([]ScalingPolicy, []*Host, error) {
+	pols := make([]ScalingPolicy, cfg.Hosts)
+	hosts := make([]*Host, cfg.Hosts)
+	for i := range hosts {
+		pol, err := NewPolicy(cfg.Policy)
+		if err != nil {
+			return nil, nil, err
+		}
+		pols[i] = pol
+		var tr *trace.Tracer
+		if cfg.Tracers != nil {
+			tr = cfg.Tracers[i]
+		}
+		h, err := NewHost(i, HostConfig{
+			PCPUs:    cfg.PCPUsPerHost,
+			Seed:     runner.DeriveSeed(cfg.Seed, i),
+			Policy:   pol,
+			SLO:      cfg.SLO,
+			Tracer:   tr,
+			Disarmed: cfg.WarmEpochs > 0,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		hosts[i] = h
+	}
+	return pols, hosts, nil
+}
+
+// telemetryFrom returns the first boundary with a collection epoch:
+// boundary 1 normally, the warm boundary when a warm prefix defers
+// collection past the policy-neutral epochs.
+func telemetryFrom(cfg *FleetConfig) int {
+	if cfg.WarmEpochs > 1 {
+		return cfg.WarmEpochs
+	}
+	return 1
+}
+
+// quiesceBefore reports whether epoch k must run with the quiesce
+// barrier armed at its start, so the fleet is drained at boundary k+1 —
+// true for the epoch preceding the warm boundary and the one preceding
+// the checkpoint boundary.
+func quiesceBefore(cfg *FleetConfig, k int) bool {
+	return (cfg.WarmEpochs > 0 && k == cfg.WarmEpochs-1) ||
+		(cfg.CheckpointEpoch > 0 && k == cfg.CheckpointEpoch-1)
+}
+
 // runLockstep is the reference executor: one runner.Run barrier per
 // epoch, boundary work on the control-plane goroutine in host order.
-func runLockstep(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []ScalingPolicy, rt *fleetRouter, res *FleetResult) error {
+// The ring holds the boundary snapshots for placement (preloaded by a
+// restoring caller); start is the first epoch to run (0 for a fresh
+// fleet, the capture boundary when resuming from a checkpoint); a
+// positive stopAt returns with the hosts parked — still quiesced and
+// unarmed — at that boundary, the warm-prefix exit used by
+// CaptureWarmPrefix.
+func runLockstep(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []ScalingPolicy, rt *fleetRouter, res *FleetResult, ring *snapRing, start, stopAt int) error {
 	opts := runner.Options{Workers: cfg.Workers, Report: cfg.Report}
 	runEpoch := func(until sim.Time) error {
 		_, err := runner.Run(opts, len(hosts), func(ctx runner.Context) (struct{}, error) {
@@ -268,11 +353,25 @@ func runLockstep(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scalin
 		})
 		return err
 	}
+	telFrom := telemetryFrom(cfg)
 
-	// Boundary snapshots for placement, retained for the staleness
-	// window: routing epoch k reads boundary plan.base(k).
-	ring := newSnapRing(cfg.Hosts, rt.lag)
-	for k := 0; k < plan.epochs(); k++ {
+	if start > 0 {
+		// Resuming at a boundary: replay the boundary work the
+		// uninterrupted run performed there after the capture point — the
+		// collection epoch and (past the warm boundary) the policy pass.
+		end := plan.ends[start-1]
+		if start >= telFrom {
+			collectTelemetry(cfg.Telemetry, end, hosts, res, cfg.SLO, rt.telHist)
+		}
+		if start > cfg.WarmEpochs {
+			epoch := end - plan.starts[start-1]
+			for i, h := range hosts {
+				h.boundaryPolicy(pols[i], epoch)
+			}
+		}
+	}
+
+	for k := start; k < plan.epochs(); k++ {
 		var stats [][]core.VMStat
 		var committed []int
 		if plan.hasArrival[k] {
@@ -287,6 +386,13 @@ func runLockstep(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scalin
 				h.scheduleRouted(batches[i])
 			}
 		}
+		if quiesceBefore(cfg, k) {
+			// After the batch, so the quiesce event lands in the same
+			// engine order in both executors.
+			for _, h := range hosts {
+				h.ScheduleQuiesce(plan.starts[k])
+			}
+		}
 		end := plan.ends[k]
 		if err := runEpoch(end); err != nil {
 			return err
@@ -295,14 +401,44 @@ func runLockstep(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scalin
 		for i, h := range hosts {
 			ring.set(k+1, i, h.Snapshot(epoch), h.CommittedVCPUs())
 		}
-		collectTelemetry(cfg.Telemetry, end, hosts, res, cfg.SLO, rt.telHist)
-		// Policy pass: every live VM is observed and decided on in host
-		// order then admission order, while all engines are parked at the
-		// boundary. Daemon-driven policies return 0 (their in-guest
-		// mechanism is already steering); a positive target is applied
-		// through the guest balancer and takes effect next epoch.
-		for i, h := range hosts {
-			h.boundaryPolicy(pols[i], epoch)
+		b := k + 1
+		if stopAt > 0 && b == stopAt {
+			return nil
+		}
+		if cfg.WarmEpochs > 0 && b == cfg.WarmEpochs {
+			for _, h := range hosts {
+				h.Arm()
+			}
+		}
+		if cfg.CheckpointEpoch > 0 && b == cfg.CheckpointEpoch {
+			// Capture before the collection epoch and the policy pass: the
+			// restored run replays both, and the policy pass would leave
+			// uncapturable zero-delay IPIs pending.
+			if cfg.CheckpointPath != "" {
+				cp, err := captureFleet(cfg, hosts, pols, rt, res, ringBoundaries(ring, rt, b), b, end)
+				if err != nil {
+					return err
+				}
+				if err := SaveCheckpoint(cfg.CheckpointPath, cp); err != nil {
+					return err
+				}
+			}
+			for _, h := range hosts {
+				h.ResumeLoad()
+			}
+		}
+		if b >= telFrom {
+			collectTelemetry(cfg.Telemetry, end, hosts, res, cfg.SLO, rt.telHist)
+		}
+		if b > cfg.WarmEpochs {
+			// Policy pass: every live VM is observed and decided on in host
+			// order then admission order, while all engines are parked at the
+			// boundary. Daemon-driven policies return 0 (their in-guest
+			// mechanism is already steering); a positive target is applied
+			// through the guest balancer and takes effect next epoch.
+			for i, h := range hosts {
+				h.boundaryPolicy(pols[i], epoch)
+			}
 		}
 	}
 

@@ -32,12 +32,19 @@ type HostConfig struct {
 	SLO sim.Time
 	// Tracer, when non-nil, records the host's scheduling events.
 	Tracer *trace.Tracer
+	// Disarmed builds the host with the policy's mechanisms off: no
+	// per-VM scaling daemons, no pool extendability ticker. The warm-fork
+	// prefix runs every host disarmed so its state is policy-neutral and
+	// one simulated warm-up serves every forked policy; Arm turns the
+	// mechanisms on at the fork boundary.
+	Disarmed bool
 }
 
 // hostVM is one VM resident on a host.
 type hostVM struct {
 	name  string
 	vcpus int
+	seed  uint64
 	dom   *xen.Domain
 	k     *guest.Kernel
 	srv   *httpd.Server
@@ -75,6 +82,13 @@ type Host struct {
 	vms   map[string]*hostVM
 	order []string // admission order, for deterministic iteration
 
+	// armed is whether the policy's mechanisms are live (always true for
+	// hosts built without Disarmed); pauseFrom, when non-zero, marks the
+	// pending quiesce barrier: VMs admitted at or after it boot with
+	// their load generators paused (see ScheduleQuiesce).
+	armed     bool
+	pauseFrom sim.Time
+
 	// err records the first asynchronous fault raised inside engine
 	// callbacks (RunEpoch returns it).
 	err error
@@ -107,8 +121,9 @@ func NewHost(id int, cfg HostConfig) (*Host, error) {
 	xcfg := xen.DefaultConfig(cfg.PCPUs)
 	// The extendability channel feeds any daemon-driven mechanism:
 	// hotplug (VCPU-Bal) reads the same utilisation signal as vScale, it
-	// only reconfigures through dom0.
-	xcfg.VScale = mech.Channel
+	// only reconfigures through dom0. A disarmed host starts without it;
+	// Arm enables it through xen.Pool.EnableVScale.
+	xcfg.VScale = mech.Channel && !cfg.Disarmed
 	pool := xen.NewPool(eng, xcfg)
 	pool.SetTracer(cfg.Tracer)
 	h := &Host{
@@ -120,6 +135,7 @@ func NewHost(id int, cfg HostConfig) (*Host, error) {
 		d0:      dom0.New(dom0.DefaultConfig(), sim.NewRand(cfg.Seed^0x5bd1e995)),
 		hotplug: model,
 		vms:     map[string]*hostVM{},
+		armed:   !cfg.Disarmed,
 	}
 	pool.Start()
 	return h, nil
@@ -225,16 +241,9 @@ func (h *Host) addVM(name string, vcpus int, rate float64, seed uint64) error {
 
 	gcfg := guest.DefaultConfig()
 	gcfg.Seed = seed
-	gcfg.VScale.Enabled = h.mech.Daemon
-	if h.mech.Hotplug {
-		// The dom0 reconfiguration path: each resize first re-reads the
-		// stats of every VM on this host through libxl (the per-host
-		// monitoring sweep), then pays the XenStore write and the guest
-		// hotplug operation. More VMs on the host → slower scaling.
-		gcfg.VScale.ReconfigDelay = func(r *sim.Rand) sim.Time {
-			sweep := h.d0.ReadVMStats(h.ActiveVMs(), dom0.Idle)
-			return sweep + costmodel.XenStoreWrite + h.hotplug.DrawDown(r)
-		}
+	gcfg.VScale.Enabled = h.mech.Daemon && h.armed
+	if h.mech.Hotplug && h.armed {
+		gcfg.VScale.ReconfigDelay = h.reconfigDelay()
 	}
 	k := guest.NewKernel(dom, gcfg)
 
@@ -252,13 +261,93 @@ func (h *Host) addVM(name string, vcpus int, rate float64, seed uint64) error {
 		SLO:     h.cfg.SLO,
 	})
 
-	vm := &hostVM{name: name, vcpus: vcpus, dom: dom, k: k, srv: srv, gen: gen}
+	vm := &hostVM{name: name, vcpus: vcpus, seed: seed, dom: dom, k: k, srv: srv, gen: gen}
 	h.vms[name] = vm
 	h.order = append(h.order, name)
 
 	k.Boot()
+	if h.pauseFrom > 0 && h.eng.Now() >= h.pauseFrom {
+		// The quiesce barrier already passed: boot with the arrival
+		// stream held so the pipeline stays drained for the capture.
+		gen.Pause()
+	}
 	gen.Start()
 	return nil
+}
+
+// reconfigDelay builds the dom0 reconfiguration latency hook for a
+// hotplug-mechanism VM: each resize first re-reads the stats of every
+// VM on this host through libxl (the per-host monitoring sweep), then
+// pays the XenStore write and the guest hotplug operation. More VMs on
+// the host → slower scaling.
+func (h *Host) reconfigDelay() func(r *sim.Rand) sim.Time {
+	return func(r *sim.Rand) sim.Time {
+		sweep := h.d0.ReadVMStats(h.ActiveVMs(), dom0.Idle)
+		return sweep + costmodel.XenStoreWrite + h.hotplug.DrawDown(r)
+	}
+}
+
+// ScheduleQuiesce schedules the load-quiesce barrier at `at` (an epoch
+// start): every live VM's generator pauses there, and VMs admitted at
+// or after it boot paused, so by the epoch's end boundary all in-flight
+// requests have drained and the host is checkpointable. Both executors
+// schedule it for the epoch preceding a capture boundary, right after
+// that epoch's churn batch, so the event sequence is identical across
+// sync modes and in the straight-through reference run.
+func (h *Host) ScheduleQuiesce(at sim.Time) {
+	h.pauseFrom = at
+	h.eng.At(at, "cluster/quiesce", func() {
+		for _, name := range h.order {
+			if vm := h.vms[name]; !vm.retired {
+				vm.gen.Pause()
+			}
+		}
+	})
+}
+
+// Arm turns the policy's mechanisms on at the fork boundary of a host
+// built Disarmed: the pool's extendability ticker (channel mechanisms),
+// each live VM's scaling daemon (daemon mechanisms, with the dom0
+// reconfiguration hook for hotplug), then the paused load generators
+// resume and their accounting windows reset so the measured window
+// starts clean. Walks VMs in admission order; arming an armed host is
+// a no-op.
+func (h *Host) Arm() {
+	if h.armed {
+		return
+	}
+	h.armed = true
+	h.pauseFrom = 0
+	if h.mech.Channel {
+		h.pool.EnableVScale()
+	}
+	for _, name := range h.order {
+		vm := h.vms[name]
+		if vm.retired {
+			continue
+		}
+		if h.mech.Daemon {
+			if h.mech.Hotplug {
+				vm.k.SetReconfigDelay(h.reconfigDelay())
+			}
+			vm.k.StartVScaleDaemon()
+		}
+		vm.gen.Resume()
+		vm.gen.TakeWindow() // discard: the measured window starts here
+	}
+}
+
+// ResumeLoad releases the quiesce barrier without touching mechanisms
+// or accounting windows — the post-capture resume of a mid-run
+// checkpoint (and of the run restored from it), which must observe
+// exactly what the uninterrupted run would have.
+func (h *Host) ResumeLoad() {
+	h.pauseFrom = 0
+	for _, name := range h.order {
+		if vm := h.vms[name]; !vm.retired {
+			vm.gen.Resume()
+		}
+	}
 }
 
 // removeVM retires a VM: its load stops, its scaling daemon halts, its

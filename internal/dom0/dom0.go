@@ -165,3 +165,10 @@ func (d *Dom0) HotplugVCPU(kernel costmodel.HotplugModel, online bool) sim.Time 
 	}
 	return lat
 }
+
+// RandState exports the sampler's PRNG state for a checkpoint
+// (docs/checkpoint.md); Reads is exported and captured directly.
+func (d *Dom0) RandState() sim.RandState { return d.rand.State() }
+
+// RestoreRand overwrites the sampler's PRNG state from a checkpoint.
+func (d *Dom0) RestoreRand(st sim.RandState) { d.rand.SetState(st) }

@@ -82,8 +82,8 @@ func apacheOnce(mode scenario.Mode, rateK float64, window sim.Time, tr *trace.Tr
 	}
 	client := httpd.NewClient(srv, sim.NewRand(7))
 
-	// Warm up 2 s, then measure for the window plus drain time.
-	warm := 2 * sim.Second
+	// Warm up, then measure for the window plus drain time.
+	warm := scenario.DefaultWarmup
 	if err := b.Eng.RunUntil(warm); err != nil {
 		return ApachePoint{}, err
 	}

@@ -28,6 +28,46 @@ type ClusterResult struct {
 	Fleets map[int][]cluster.FleetResult
 }
 
+// ClusterWarm configures the cluster experiment's warm-up and
+// checkpoint behaviour (the CLI's -warm-epochs/-warmfork/-checkpoint/
+// -restore flags). The zero value means no warm prefix and no files.
+type ClusterWarm struct {
+	// Epochs gives every fleet run a policy-neutral warm prefix of this
+	// many epochs (see cluster.FleetConfig.WarmEpochs).
+	Epochs int
+	// Fork simulates the warm prefix once per host count and forks
+	// every policy from the snapshot instead of re-simulating it per
+	// policy. Results are bit-identical either way; only wall clock
+	// changes. Requires Epochs > 0.
+	Fork bool
+	// CheckpointPath persists the warm-prefix snapshot
+	// (vscale-checkpoint/v1) to this file. Requires Epochs > 0 and a
+	// single host count.
+	CheckpointPath string
+	// RestorePath loads a previously written snapshot instead of
+	// simulating the warm prefix, and forks every policy from it. The
+	// snapshot must match the run's config and trace (the digest and
+	// config are validated). Implies Fork; requires a single host count.
+	RestorePath string
+}
+
+// validate rejects flag combinations the run cannot honour.
+func (w ClusterWarm) validate(hostCounts []int, tracing bool) error {
+	if w.Fork && w.Epochs <= 0 {
+		return fmt.Errorf("cluster: -warmfork requires -warm-epochs > 0")
+	}
+	if w.CheckpointPath != "" && w.Epochs <= 0 {
+		return fmt.Errorf("cluster: -checkpoint requires -warm-epochs > 0")
+	}
+	if (w.CheckpointPath != "" || w.RestorePath != "") && len(hostCounts) != 1 {
+		return fmt.Errorf("cluster: -checkpoint/-restore need a single host count (got %d)", len(hostCounts))
+	}
+	if (w.Fork || w.RestorePath != "" || w.CheckpointPath != "") && tracing {
+		return fmt.Errorf("cluster: tracing is not checkpointable; drop -trace/-schedstats")
+	}
+	return nil
+}
+
 // Cluster runs the multi-host churn experiment: for each host count, a
 // churn trace is generated once (seeded from opts.BaseSeed and the
 // host count) and replayed under every selected scaling policy, so the
@@ -40,9 +80,15 @@ type ClusterResult struct {
 // fleet gets its own collector labelled policy=<p>,hosts=<n>, appending
 // JSONL records in fleet order from the control plane's goroutine, so
 // the stream is byte-identical for any worker count.
-func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus int, horizon, slo sim.Time, policies []string, syncMode cluster.SyncMode, lag int) (ClusterResult, error) {
+//
+// warm configures the policy-neutral warm prefix and the
+// checkpoint/restore handoff; see ClusterWarm.
+func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus int, horizon, slo sim.Time, policies []string, syncMode cluster.SyncMode, lag int, warm ClusterWarm) (ClusterResult, error) {
 	if len(hostCounts) == 0 {
 		return ClusterResult{}, fmt.Errorf("cluster: no host counts")
+	}
+	if err := warm.validate(hostCounts, opts.Trace); err != nil {
+		return ClusterResult{}, err
 	}
 	if len(policies) == 0 {
 		policies = cluster.PolicyNames()
@@ -66,29 +112,59 @@ func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus 
 		traceSeed := runner.DeriveSeed(opts.BaseSeed, hc)
 		events := cluster.GenTrace(tcfg, traceSeed)
 
+		base := cluster.FleetConfig{
+			Hosts:        hc,
+			PCPUsPerHost: pcpus,
+			Seed:         traceSeed,
+			Horizon:      horizon,
+			SLO:          slo,
+			Workers:      opts.Workers,
+			Sync:         syncMode,
+			LagEpochs:    lag,
+			WarmEpochs:   warm.Epochs,
+			Report:       opts.Report,
+		}
+
+		// The warm-fork handoff: one snapshot per host count — loaded
+		// from disk, or simulated once — optionally persisted, then
+		// forked into every policy's measured window.
+		fork := warm.Fork || warm.RestorePath != ""
+		var cp *cluster.FleetCheckpoint
+		var err error
+		switch {
+		case warm.RestorePath != "":
+			if cp, err = cluster.LoadCheckpoint(warm.RestorePath); err != nil {
+				return out, fmt.Errorf("cluster: %d hosts: %w", hc, err)
+			}
+		case fork || warm.CheckpointPath != "":
+			if cp, err = cluster.CaptureWarmPrefix(base, events); err != nil {
+				return out, fmt.Errorf("cluster: %d hosts: %w", hc, err)
+			}
+		}
+		if warm.CheckpointPath != "" && warm.RestorePath == "" {
+			if err := cluster.SaveCheckpoint(warm.CheckpointPath, cp); err != nil {
+				return out, fmt.Errorf("cluster: %d hosts: %w", hc, err)
+			}
+		}
+
 		for _, policy := range policies {
 			col := telemetry.NewCollector(sink, false,
 				"policy", policy, "hosts", strconv.Itoa(hc))
-			fcfg := cluster.FleetConfig{
-				Hosts:        hc,
-				PCPUsPerHost: pcpus,
-				Policy:       policy,
-				Seed:         traceSeed,
-				Horizon:      horizon,
-				SLO:          slo,
-				Workers:      opts.Workers,
-				Sync:         syncMode,
-				LagEpochs:    lag,
-				Report:       opts.Report,
-				Telemetry:    col,
-			}
+			fcfg := base
+			fcfg.Policy = policy
+			fcfg.Telemetry = col
 			if opts.Trace {
 				fcfg.Tracers = make([]*trace.Tracer, hc)
 				for i := range fcfg.Tracers {
 					fcfg.Tracers[i] = trace.New(trace.Config{RingCapacity: opts.TraceCapacity})
 				}
 			}
-			res, err := cluster.RunFleet(fcfg, events)
+			var res cluster.FleetResult
+			if fork {
+				res, err = cluster.RunFleetFork(fcfg, events, cp)
+			} else {
+				res, err = cluster.RunFleet(fcfg, events)
+			}
 			if err != nil {
 				return out, fmt.Errorf("cluster: %d hosts, %s: %w", hc, policy, err)
 			}

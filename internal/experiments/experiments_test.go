@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"path/filepath"
 	"strings"
 	"testing"
 
@@ -348,7 +349,7 @@ func TestExtensionAdaptiveTeam(t *testing.T) {
 }
 
 func TestClusterShape(t *testing.T) {
-	r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{2}, 4, 4*sim.Second, 50*sim.Millisecond, nil, "", 0)
+	r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{2}, 4, 4*sim.Second, 50*sim.Millisecond, nil, "", 0, ClusterWarm{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -395,7 +396,7 @@ func TestClusterShape(t *testing.T) {
 
 func TestClusterPolicySelection(t *testing.T) {
 	r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{1}, 4, 2*sim.Second, 50*sim.Millisecond,
-		[]string{"static", "pid"}, "", 0)
+		[]string{"static", "pid"}, "", 0, ClusterWarm{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -414,7 +415,7 @@ func TestClusterPolicySelection(t *testing.T) {
 func TestClusterParallelDeterminism(t *testing.T) {
 	render := func(workers int) string {
 		r, err := Cluster(runner.Options{Workers: workers, BaseSeed: 3}, nil,
-			[]int{2}, 4, 3*sim.Second, 20*sim.Millisecond, nil, "", 0)
+			[]int{2}, 4, 3*sim.Second, 20*sim.Millisecond, nil, "", 0, ClusterWarm{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -424,6 +425,83 @@ func TestClusterParallelDeterminism(t *testing.T) {
 	parallel := render(8)
 	if serial != parallel {
 		t.Fatalf("serial vs 8-worker cluster output differs:\n--- serial ---\n%s\n--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestWarmForkExperiment: the amortization experiment's two arms agree
+// (WarmFork fails internally otherwise), the canonical scoreboard is
+// sane, and the bench metrics carry the wall-clock series.
+func TestWarmForkExperiment(t *testing.T) {
+	pols := []string{"static", "pid"}
+	r, err := WarmFork(runner.Options{BaseSeed: 3}, 2, 4, 5*sim.Second, 50*sim.Millisecond,
+		6, pols, cluster.SyncBoundedLag, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Fleets) != 2 || r.Fleets[0].Policy != "static" || r.Fleets[1].Policy != "pid" {
+		t.Fatalf("scoreboard shape wrong: %+v", r.Fleets)
+	}
+	if r.Epochs != 10 || r.WarmEpochs != 6 {
+		t.Fatalf("epoch accounting wrong: %d epochs, %d warm", r.Epochs, r.WarmEpochs)
+	}
+	m := r.Metrics()
+	for _, k := range []string{"straight_wall_seconds", "warm_wall_seconds", "fork_wall_seconds",
+		"speedup", "static/fork_wall_seconds", "pid/straight_wall_seconds"} {
+		if m[k] <= 0 {
+			t.Fatalf("Metrics[%q] = %v, want > 0 (%v)", k, m[k], m)
+		}
+	}
+	out := r.Render()
+	for _, want := range []string{"Warm-fork", "static", "pid", "bit for bit"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "wall_seconds") {
+		t.Fatalf("wall clocks leaked into the deterministic render:\n%s", out)
+	}
+	// A bad warm length must be rejected, not run.
+	if _, err := WarmFork(runner.Options{}, 2, 4, 5*sim.Second, 50*sim.Millisecond,
+		10, pols, cluster.SyncBoundedLag, 0); err == nil {
+		t.Fatal("warm epochs == epochs accepted")
+	}
+}
+
+// TestClusterWarmForkIdentity: the cluster experiment produces the same
+// scoreboard straight, warm-forked, and restored from a checkpoint file
+// written by a previous invocation.
+func TestClusterWarmForkIdentity(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "warm.ckpt")
+	run := func(warm ClusterWarm) ClusterResult {
+		r, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{2}, 4, 4*sim.Second,
+			50*sim.Millisecond, []string{"static", "vscale"}, "", 0, warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	straight := run(ClusterWarm{Epochs: 4})
+	forked := run(ClusterWarm{Epochs: 4, Fork: true, CheckpointPath: path})
+	restored := run(ClusterWarm{Epochs: 4, RestorePath: path})
+	if straight.Render() != forked.Render() || forked.Render() != restored.Render() {
+		t.Fatalf("scoreboards differ:\n--- straight ---\n%s\n--- forked ---\n%s\n--- restored ---\n%s",
+			straight.Render(), forked.Render(), restored.Render())
+	}
+	for i := range straight.Fleets[2] {
+		if !sameFleetResult(straight.Fleets[2][i], forked.Fleets[2][i]) ||
+			!sameFleetResult(forked.Fleets[2][i], restored.Fleets[2][i]) {
+			t.Fatalf("fleet %d differs across arms", i)
+		}
+	}
+	// Flag validation: fork without a warm prefix, and files with
+	// multiple host counts, are rejected.
+	if _, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{2}, 4, 4*sim.Second,
+		50*sim.Millisecond, nil, "", 0, ClusterWarm{Fork: true}); err == nil {
+		t.Fatal("-warmfork without -warm-epochs accepted")
+	}
+	if _, err := Cluster(runner.Options{BaseSeed: 3}, nil, []int{1, 2}, 4, 4*sim.Second,
+		50*sim.Millisecond, nil, "", 0, ClusterWarm{Epochs: 4, CheckpointPath: path}); err == nil {
+		t.Fatal("-checkpoint with two host counts accepted")
 	}
 }
 

@@ -49,6 +49,19 @@ type Config struct {
 	// LagEpochs bounds cluster placement staleness and host run-ahead
 	// (0 = cluster.DefaultLagEpochs).
 	LagEpochs int
+	// WarmEpochs gives every cluster fleet run a policy-neutral warm
+	// prefix of that many epochs (the warmfork experiment uses it to
+	// override its default warm length; 0 keeps the defaults).
+	WarmEpochs int
+	// WarmFork makes the cluster experiment simulate each host count's
+	// warm prefix once and fork every policy from the snapshot instead
+	// of re-simulating it per policy (requires WarmEpochs > 0).
+	WarmFork bool
+	// CheckpointPath persists the cluster experiment's warm-prefix
+	// snapshot to a file; RestorePath loads one instead of simulating
+	// the prefix. See ClusterWarm.
+	CheckpointPath string
+	RestorePath    string
 
 	mu      sync.Mutex
 	npb4    *npbMemo
@@ -450,7 +463,13 @@ func Registry() []Experiment {
 				if err != nil {
 					return Result{}, fmt.Errorf("cluster: %w", err)
 				}
-				r, err := Cluster(c.opts(rep), c.Telemetry, hostCounts, 4, horizon, 50*sim.Millisecond, c.Policies, syncMode, c.LagEpochs)
+				warm := ClusterWarm{
+					Epochs:         c.WarmEpochs,
+					Fork:           c.WarmFork,
+					CheckpointPath: c.CheckpointPath,
+					RestorePath:    c.RestorePath,
+				}
+				r, err := Cluster(c.opts(rep), c.Telemetry, hostCounts, 4, horizon, 50*sim.Millisecond, c.Policies, syncMode, c.LagEpochs, warm)
 				if err != nil {
 					return Result{}, fmt.Errorf("cluster: %w", err)
 				}
@@ -483,6 +502,39 @@ func Registry() []Experiment {
 					return Result{}, fmt.Errorf("fleetscale: %w", err)
 				}
 				res := Result{Name: "fleetscale", Text: r.Render(), Metrics: r.Metrics()}
+				if rep.Jobs > 0 {
+					res.Report = rep
+				}
+				return res, nil
+			},
+		},
+		{
+			Name:        "warmfork",
+			Title:       "Warm-fork — simulate the warm prefix once, fork every policy",
+			Desc:        "per-policy straight runs vs one shared warm-prefix snapshot forked per policy; results must match bit for bit, wall clocks land in the bench JSON as the amortization series",
+			QuickParams: "2 hosts, 20 epochs (16 warm) × all policies",
+			FullParams:  "2 hosts, 40 epochs (32 warm) × all policies",
+			Run: func(c *Config) (Result, error) {
+				rep := &runner.Report{}
+				horizon := 20 * sim.Second
+				warmEpochs := 32
+				if c.Quick {
+					horizon = 10 * sim.Second
+					warmEpochs = 16
+				}
+				if c.WarmEpochs > 0 {
+					warmEpochs = c.WarmEpochs
+				}
+				syncMode, err := cluster.ParseSyncMode(c.Sync)
+				if err != nil {
+					return Result{}, fmt.Errorf("warmfork: %w", err)
+				}
+				r, err := WarmFork(c.opts(rep), 2, 4, horizon, 50*sim.Millisecond,
+					warmEpochs, c.Policies, syncMode, c.LagEpochs)
+				if err != nil {
+					return Result{}, err
+				}
+				res := Result{Name: "warmfork", Text: r.Render(), Metrics: r.Metrics()}
 				if rep.Jobs > 0 {
 					res.Report = rep
 				}

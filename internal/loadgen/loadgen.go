@@ -69,6 +69,7 @@ type Generator struct {
 	next    sim.EventRef
 	armed   bool
 	stopped bool
+	paused  bool
 
 	stats Stats
 	hist  *metrics.Histogram // reply latency, ms, within-timeout replies only
@@ -134,7 +135,7 @@ func (g *Generator) Stop() {
 
 // arm schedules the next arrival.
 func (g *Generator) arm() {
-	if g.stopped || g.armed || g.rate <= 0 {
+	if g.stopped || g.paused || g.armed || g.rate <= 0 {
 		return
 	}
 	mean := sim.Time(float64(sim.Second) / g.rate)

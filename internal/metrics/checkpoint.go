@@ -1,0 +1,64 @@
+package metrics
+
+import "fmt"
+
+// Checkpoint state for the accumulators that live inside simulation
+// components (docs/checkpoint.md). Only Summary and Histogram need it:
+// they are the two shapes embedded in checkpointable component state.
+// Sample deliberately has no state export — the cluster checkpoint layer
+// treats retained-sample diagnostics as write-only and excludes them.
+
+// SummaryState is the full internal state of a Summary.
+type SummaryState struct {
+	N    uint64  `json:"n"`
+	Sum  float64 `json:"sum"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// State exports the summary for a checkpoint.
+func (s *Summary) State() SummaryState {
+	return SummaryState{N: s.n, Sum: s.sum, Mean: s.mean, M2: s.m2, Min: s.min, Max: s.max}
+}
+
+// Restore overwrites the summary from a checkpointed state.
+func (s *Summary) Restore(st SummaryState) {
+	s.n, s.sum, s.mean, s.m2, s.min, s.max = st.N, st.Sum, st.Mean, st.M2, st.Min, st.Max
+}
+
+// HistogramState is the count state of a Histogram. Bucket bounds are
+// configuration, not state: the restoring side rebuilds the histogram
+// with the same bounds and Restore verifies the count vector fits.
+type HistogramState struct {
+	Counts []uint64 `json:"counts"`
+	N      uint64   `json:"n"`
+	Sum    float64  `json:"sum"`
+	Min    float64  `json:"min"`
+	Max    float64  `json:"max"`
+}
+
+// State exports the histogram's counts for a checkpoint.
+func (h *Histogram) State() HistogramState {
+	return HistogramState{
+		Counts: append([]uint64(nil), h.counts...),
+		N:      h.n,
+		Sum:    h.sum,
+		Min:    h.min,
+		Max:    h.max,
+	}
+}
+
+// Restore overwrites the histogram's counts from a checkpointed state.
+// The receiver must have been built with the same bounds the state was
+// captured under.
+func (h *Histogram) Restore(st HistogramState) error {
+	if len(st.Counts) != len(h.counts) {
+		return fmt.Errorf("metrics: restoring %d bucket counts into a %d-bucket histogram",
+			len(st.Counts), len(h.counts))
+	}
+	copy(h.counts, st.Counts)
+	h.n, h.sum, h.min, h.max = st.N, st.Sum, st.Min, st.Max
+	return nil
+}

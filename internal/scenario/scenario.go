@@ -131,6 +131,14 @@ type Built struct {
 	Tracer *trace.Tracer // nil when tracing is disabled
 }
 
+// DefaultWarmup is the warm-up window run before a measured request
+// window in the single-host HTTP scenarios: long enough for the guest
+// to boot, the scheduler to settle and the server to reach steady
+// state, short enough not to dominate a run. Shared by every driver
+// that warms an httpd scenario (Figure 14, the vscalesim httpd
+// workload) so "warm" means the same thing everywhere.
+const DefaultWarmup = 2 * sim.Second
+
 // WeightPerVCPU is the credit-scheduler weight granted per vCPU: a
 // domain's weight is proportional to its vCPU count, so the hypervisor
 // treats all vCPUs equally (the paper's weight configuration). Shared
