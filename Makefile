@@ -35,7 +35,9 @@ race:
 # amortization series (straight vs warm-once-fork-per-policy walls and
 # the resulting speedup) into BENCH_cluster.json, whose
 # cost_vcpu_seconds and attainment per scaling policy track the
-# cost-vs-attainment frontier over time. bench-sim records the
+# cost-vs-attainment frontier over time, plus the elasticity bake-off
+# (vertical vs horizontal vs hybrid arms, each with cost, attainment,
+# migration and replica counts under "bakeoff/<arm>/..."). bench-sim records the
 # event-core microbenchmarks plus the end-to-end fleet-executor and
 # checkpoint/restore benchmarks as ns/op + allocs/op in BENCH_sim.json
 # (schema vscale-simbench/v1).
@@ -43,7 +45,7 @@ bench: bench-cluster bench-sim
 	go run ./cmd/vscale-experiments -quick -benchworkers 1,2,4 -benchjson BENCH_experiments.json >/dev/null
 
 bench-cluster:
-	go run ./cmd/vscale-experiments -experiment cluster,fleetscale,warmfork -quick -benchjson BENCH_cluster.json >/dev/null
+	go run ./cmd/vscale-experiments -experiment cluster,fleetscale,warmfork,bakeoff -quick -benchjson BENCH_cluster.json >/dev/null
 
 bench-sim:
 	{ go test -run='^$$' -bench=. -benchmem ./internal/sim/... ; \

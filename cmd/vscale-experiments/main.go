@@ -117,6 +117,7 @@ func main() {
 	warmFork := flag.Bool("warmfork", false, "cluster: simulate the warm prefix once per host count and fork every policy from the snapshot (requires -warm-epochs)")
 	checkpointFlag := flag.String("checkpoint", "", "cluster: write the warm-prefix snapshot (vscale-checkpoint/v1) to this file")
 	restoreFlag := flag.String("restore", "", "cluster: fork the policies from a previously written snapshot instead of simulating the warm prefix")
+	elasticFlag := flag.String("elastic", "", "cluster fleet elasticity mode: none | migrate | replicas | hybrid (default none; see docs/cluster.md)")
 	benchWorkers := flag.String("benchworkers", "", "comma-separated worker counts: run the selection once per count with a fresh config, assert identical stdout, record the speedup series in -benchjson")
 	seed := flag.Uint64("seed", 1, "base seed for per-run seed derivation")
 	traceOut := flag.String("trace", "", "write a Chrome trace-event JSON of all runs to this path")
@@ -216,6 +217,7 @@ func main() {
 		cfg.WarmFork = *warmFork
 		cfg.CheckpointPath = *checkpointFlag
 		cfg.RestorePath = *restoreFlag
+		cfg.Elastic = *elasticFlag
 		return cfg
 	}
 

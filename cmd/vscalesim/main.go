@@ -100,6 +100,7 @@ func main() {
 	warmFork := flag.Bool("warmfork", false, "fleet mode: simulate the warm prefix once and fork every policy from the snapshot (requires -warm-epochs)")
 	checkpointPath := flag.String("checkpoint", "", "fleet mode: write the warm-prefix snapshot (vscale-checkpoint/v1) to this file")
 	restorePath := flag.String("restore", "", "fleet mode: fork the policies from a previously written snapshot instead of simulating the warm prefix")
+	elasticFlag := flag.String("elastic", "", "fleet mode: elasticity layer, none | migrate | replicas | hybrid (default none)")
 	nobg := flag.Bool("dedicated", false, "no background VMs")
 	maxSecs := flag.Float64("max", 600, "simulation deadline, seconds")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this path")
@@ -185,7 +186,7 @@ func main() {
 			RestorePath:    *restorePath,
 		}
 		r, err := experiments.Cluster(runner.Options{Workers: *parallel, BaseSeed: *seed},
-			sink, []int{*hosts}, *pcpus, sim.FromSeconds(*horizonSecs), sim.FromMillis(*sloMs), pols, syncMode, *lagFlag, warm)
+			sink, []int{*hosts}, *pcpus, sim.FromSeconds(*horizonSecs), sim.FromMillis(*sloMs), pols, syncMode, *lagFlag, *elasticFlag, warm)
 		fatal(err)
 		fmt.Print(r.Render())
 		if telemetryFile != nil {

@@ -68,6 +68,11 @@ type asyncFleet struct {
 	// telemetryDone is the last boundary whose collection epoch has
 	// closed (only consulted when a collector is attached).
 	telemetryDone int
+	// elDone is the last boundary whose elasticity pass has committed
+	// (only consulted when the elasticity layer is on): hosts owing a
+	// post-warm policy pass park until the control plane has run the
+	// boundary's migration/replica-set pass over the frozen fleet.
+	elDone int
 	// ckptDone opens the capture gate: hosts parked at the checkpoint
 	// boundary resume once the control plane has captured the fleet.
 	ckptDone bool
@@ -140,8 +145,9 @@ func runBoundedLag(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scal
 			f.snaps[i][rb.Boundary] = hostSnap{stats: rb.Stats[i], committed: rb.Committed[i]}
 		}
 	}
-	if cfg.Telemetry != nil {
-		// Every collection epoch samples all hosts parked at one
+	if cfg.Telemetry != nil || rt.el != nil {
+		// Every collection epoch — and every elasticity pass, which
+		// mutates hosts fleet-wide — samples all hosts parked at one
 		// boundary: a global sync point, so run-ahead is disabled and the
 		// executor paces epoch by epoch (results are identical either
 		// way; only wall-clock behaviour changes).
@@ -192,6 +198,14 @@ func (f *asyncFleet) route() error {
 				return err
 			}
 		}
+		if f.rt.el != nil && k > f.cfg.WarmEpochs {
+			// Boundary k's elasticity pass precedes epoch k's routing,
+			// exactly as in lockstep: migrations commit and replicas
+			// scale before the epoch's arrivals are placed.
+			if err := f.elasticityBarrier(k); err != nil {
+				return err
+			}
+		}
 		var stats [][]core.VMStat
 		var committed []int
 		if f.plan.hasArrival[k] {
@@ -232,6 +246,13 @@ func (f *asyncFleet) route() error {
 			return err
 		}
 	}
+	if f.rt.el != nil && f.last > f.cfg.WarmEpochs {
+		// The horizon boundary's elasticity pass (commits only — no new
+		// migrations or replicas start with no epoch left to run them).
+		if err := f.elasticityBarrier(f.last); err != nil {
+			return err
+		}
+	}
 	f.mu.Lock()
 	for f.minDone <= f.last && f.failErr == nil {
 		f.cond.Wait()
@@ -242,7 +263,37 @@ func (f *asyncFleet) route() error {
 		return err
 	}
 	// Terminal collection epoch on the fully drained fleet.
-	collectTelemetry(f.cfg.Telemetry, f.cfg.Horizon+f.cfg.Drain, f.hosts, f.res, f.cfg.SLO, f.rt.telHist)
+	collectTelemetry(f.cfg.Telemetry, f.cfg.Horizon+f.cfg.Drain, f.hosts, f.res, f.cfg.SLO, f.rt)
+	return nil
+}
+
+// elasticityBarrier waits until every host is parked at boundary k
+// (their policy pass gated on elDone), runs the migration/replica-set
+// pass over the frozen fleet, then opens the gate. At the checkpoint
+// boundary the post-capture load resume happens here too, on the
+// control plane, before the pass reads the boundary observations.
+func (f *asyncFleet) elasticityBarrier(k int) error {
+	f.mu.Lock()
+	for f.minDone < k && f.failErr == nil {
+		f.cond.Wait()
+	}
+	if f.failErr != nil {
+		f.mu.Unlock()
+		return f.failErr
+	}
+	f.mu.Unlock()
+	// No host can be past boundary k (its policy pass needs elDone >=
+	// k), so every engine is frozen while the pass mutates the fleet.
+	if f.ckpt > 0 && k == f.ckpt {
+		for _, h := range f.hosts {
+			h.ResumeLoad()
+		}
+	}
+	f.rt.el.pass(k, f.plan.ends[k-1])
+	f.mu.Lock()
+	f.elDone = k
+	f.mu.Unlock()
+	f.pool.WakeAll()
 	return nil
 }
 
@@ -261,7 +312,7 @@ func (f *asyncFleet) collectBoundary(k int, now sim.Time) error {
 	f.mu.Unlock()
 	// No host can be past boundary k (its policy pass needs
 	// telemetryDone >= k), so every engine is frozen while we read.
-	collectTelemetry(f.cfg.Telemetry, now, f.hosts, f.res, f.cfg.SLO, f.rt.telHist)
+	collectTelemetry(f.cfg.Telemetry, now, f.hosts, f.res, f.cfg.SLO, f.rt)
 	f.mu.Lock()
 	f.telemetryDone = k
 	f.mu.Unlock()
@@ -380,7 +431,13 @@ func (f *asyncFleet) advance(i int) {
 				f.mu.Unlock()
 				return // park until the control plane captured the fleet
 			}
-			resume := f.ckpt > 0 && k == f.ckpt
+			if f.rt.el != nil && k > f.cfg.WarmEpochs && f.elDone < k {
+				f.mu.Unlock()
+				return // park until boundary k's elasticity pass commits
+			}
+			// With the elasticity layer on, the post-capture resume is the
+			// control plane's (elasticityBarrier), not the host's.
+			resume := f.ckpt > 0 && k == f.ckpt && f.rt.el == nil
 			f.mu.Unlock()
 			if resume {
 				// Post-capture: release this host's quiesce barrier, on the

@@ -120,6 +120,12 @@ type CheckpointConfig struct {
 	LagEpochs    int      `json:"lag_epochs"`
 	WarmEpochs   int      `json:"warm_epochs"`
 	Policy       string   `json:"policy,omitempty"`
+	// Elastic names the elasticity mode of an armed capture ("" when the
+	// layer is off). Like Policy it is part of the run identity only once
+	// the capture is armed: a warm capture's elasticity bookkeeping is a
+	// pure function of the routed trace, so one warm checkpoint serves
+	// every elasticity mode.
+	Elastic string `json:"elastic,omitempty"`
 }
 
 // FleetCheckpoint is one complete fleet snapshot at an epoch boundary.
@@ -133,7 +139,12 @@ type FleetCheckpoint struct {
 	Router       RouterCheckpoint  `json:"router"`
 	Ring         []RingBoundary    `json:"ring,omitempty"`
 	PolicyStates []json.RawMessage `json:"policy_states,omitempty"`
-	Digest       string            `json:"digest"`
+	// Elasticity is the migration/replica-set control-plane state,
+	// present when the captured run had the elasticity layer built.
+	// Absent on older checkpoints and elasticity-free runs; a fork with
+	// the layer on requires it.
+	Elasticity json.RawMessage `json:"elasticity,omitempty"`
+	Digest     string          `json:"digest"`
 }
 
 // checkpointableLabel reports whether a pending-event label names an
@@ -359,6 +370,16 @@ func captureFleet(cfg *FleetConfig, hosts []*Host, pols []ScalingPolicy, rt *fle
 			cp.PolicyStates[i] = raw
 		}
 	}
+	if rt.el != nil {
+		raw, err := rt.el.capture()
+		if err != nil {
+			return nil, err
+		}
+		cp.Elasticity = raw
+		if armed {
+			cp.Config.Elastic = rt.el.mode()
+		}
+	}
 	digest, err := cp.ComputeDigest()
 	if err != nil {
 		return nil, err
@@ -483,6 +504,9 @@ func (cp *FleetCheckpoint) validateAgainst(cfg *FleetConfig, plan *epochPlan) er
 		if id.Policy != cfg.Policy {
 			return fmt.Errorf("cluster: armed checkpoint of policy %q cannot restore as %q", id.Policy, cfg.Policy)
 		}
+		if id.Elastic != cfg.elasticMode() {
+			return fmt.Errorf("cluster: armed checkpoint of elasticity mode %q cannot restore as %q", id.Elastic, cfg.elasticMode())
+		}
 	} else if cp.Boundary != cfg.WarmEpochs {
 		return fmt.Errorf("cluster: disarmed checkpoint at boundary %d, warm boundary is %d", cp.Boundary, cfg.WarmEpochs)
 	}
@@ -575,6 +599,9 @@ func CaptureWarmPrefix(cfg FleetConfig, events []Event) (*FleetCheckpoint, error
 	}
 	res := FleetResult{Policy: cfg.Policy, Hosts: cfg.Hosts}
 	rt := newFleetRouter(&cfg, plan, &res)
+	if rt.el != nil {
+		rt.el.attachHosts(hosts)
+	}
 	ring := newSnapRing(cfg.Hosts, rt.lag)
 	if err := runLockstep(&cfg, plan, hosts, pols, rt, &res, ring, 0, cfg.WarmEpochs); err != nil {
 		return nil, err
@@ -624,6 +651,15 @@ func RunFleetFork(cfg FleetConfig, events []Event, cp *FleetCheckpoint) (FleetRe
 			return FleetResult{}, err
 		}
 		hosts[i] = h
+	}
+	if rt.el != nil {
+		if cp.Elasticity == nil {
+			return FleetResult{}, fmt.Errorf("cluster: elasticity mode %q needs a checkpoint with elasticity state (captured by an elasticity-enabled run)", cfg.elasticMode())
+		}
+		rt.el.attachHosts(hosts)
+		if err := rt.el.restore(cp.Elasticity); err != nil {
+			return FleetResult{}, err
+		}
 	}
 	if cp.Armed {
 		for i, pol := range pols {

@@ -52,6 +52,14 @@ type Event struct {
 	VM      string
 	VCPUs   int     // arrive only
 	RateRPS float64 // arrive and phase
+	// Service groups VMs for horizontal autoscaling (arrive only,
+	// optional): VMs sharing a service name form one ReplicaSet-style
+	// scaling group. Empty means the VM is its own singleton service.
+	Service string
+	// DirtyBps is the VM's dirty-page rate hint at full utilisation in
+	// bytes/s (arrive only, optional): the live-migration planner scales
+	// it by observed CPU consumption. Zero means the fleet default.
+	DirtyBps float64
 }
 
 // TraceConfig parameterises GenTrace.
@@ -72,6 +80,14 @@ type TraceConfig struct {
 	// VCPUChoices and RateChoices are drawn uniformly per arrival/phase.
 	VCPUChoices []int
 	RateChoices []float64
+	// Services, when non-empty, assigns each arriving VM a service
+	// drawn uniformly from this list (see Event.Service). Empty keeps
+	// every VM a singleton and the trace bytes identical to older
+	// configs.
+	Services []string
+	// DirtyBpsChoices, when non-empty, draws each arriving VM's
+	// dirty-page rate hint uniformly (see Event.DirtyBps).
+	DirtyBpsChoices []float64
 }
 
 // DefaultTraceConfig returns a churn mix sized for the cluster
@@ -110,13 +126,22 @@ func GenTrace(cfg TraceConfig, seed uint64) []Event {
 	addVM := func(at sim.Time) {
 		name := fmt.Sprintf("vm%d", seq)
 		seq++
-		events = append(events, Event{
+		ev := Event{
 			At:      at,
 			Kind:    EventArrive,
 			VM:      name,
 			VCPUs:   cfg.VCPUChoices[rand.Intn(len(cfg.VCPUChoices))],
 			RateRPS: cfg.RateChoices[rand.Intn(len(cfg.RateChoices))],
-		})
+		}
+		// The elasticity hints draw only when configured, so configs
+		// without them keep their exact historical traces.
+		if len(cfg.Services) > 0 {
+			ev.Service = cfg.Services[rand.Intn(len(cfg.Services))]
+		}
+		if len(cfg.DirtyBpsChoices) > 0 {
+			ev.DirtyBps = cfg.DirtyBpsChoices[rand.Intn(len(cfg.DirtyBpsChoices))]
+		}
+		events = append(events, ev)
 		life := cfg.LifetimeMax
 		if cfg.LifetimeMax > cfg.LifetimeMin {
 			life = rand.Duration(cfg.LifetimeMin, cfg.LifetimeMax)
@@ -159,12 +184,16 @@ const traceHeader = "# vscale-churn/v1"
 // FormatTrace renders a trace in the vscale-churn/v1 text format:
 //
 //	# vscale-churn/v1
-//	<at_ns> arrive <vm> vcpus=<n> rate=<rps>
+//	<at_ns> arrive <vm> vcpus=<n> rate=<rps> [service=<name>] [dirty=<bps>]
 //	<at_ns> phase <vm> rate=<rps>
 //	<at_ns> depart <vm>
 //
 // Timestamps are integral nanoseconds of virtual time (sim.Time raw
-// units), so formatting and parsing round-trip exactly.
+// units), so formatting and parsing round-trip exactly. The optional
+// arrive fields carry the elasticity hints (service grouping for
+// horizontal autoscaling, dirty-page rate for live migration); they are
+// omitted when zero, so traces without them render byte-identically to
+// the original format.
 func FormatTrace(w io.Writer, events []Event) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintln(bw, traceHeader)
@@ -172,7 +201,14 @@ func FormatTrace(w io.Writer, events []Event) error {
 		ns := int64(e.At)
 		switch e.Kind {
 		case EventArrive:
-			fmt.Fprintf(bw, "%d arrive %s vcpus=%d rate=%g\n", ns, e.VM, e.VCPUs, e.RateRPS)
+			fmt.Fprintf(bw, "%d arrive %s vcpus=%d rate=%g", ns, e.VM, e.VCPUs, e.RateRPS)
+			if e.Service != "" {
+				fmt.Fprintf(bw, " service=%s", e.Service)
+			}
+			if e.DirtyBps != 0 {
+				fmt.Fprintf(bw, " dirty=%g", e.DirtyBps)
+			}
+			fmt.Fprintln(bw)
 		case EventPhase:
 			fmt.Fprintf(bw, "%d phase %s rate=%g\n", ns, e.VM, e.RateRPS)
 		case EventDepart:
@@ -236,8 +272,8 @@ func ParseTrace(r io.Reader) ([]Event, error) {
 		switch fields[1] {
 		case "arrive":
 			ev.Kind = EventArrive
-			if len(fields) != 5 {
-				return nil, fmt.Errorf("cluster: line %d: arrive needs vcpus= and rate=", lineno)
+			if len(fields) < 5 || len(fields) > 7 {
+				return nil, fmt.Errorf("cluster: line %d: arrive needs vcpus= and rate= (plus optional service=/dirty=)", lineno)
 			}
 			vs, err := kv(fields[3], "vcpus")
 			if err != nil {
@@ -255,6 +291,31 @@ func ParseTrace(r io.Reader) ([]Event, error) {
 			}
 			if ev.RateRPS, err = strconv.ParseFloat(rs, 64); err != nil {
 				return nil, fmt.Errorf("cluster: line %d: bad rate: %v", lineno, err)
+			}
+			// Optional elasticity hints, in any order, at most once each.
+			for _, f := range fields[5:] {
+				switch {
+				case strings.HasPrefix(f, "service="):
+					if ev.Service != "" {
+						return nil, fmt.Errorf("cluster: line %d: duplicate service=", lineno)
+					}
+					ev.Service = strings.TrimPrefix(f, "service=")
+					if ev.Service == "" {
+						return nil, fmt.Errorf("cluster: line %d: empty service name", lineno)
+					}
+				case strings.HasPrefix(f, "dirty="):
+					if ev.DirtyBps != 0 {
+						return nil, fmt.Errorf("cluster: line %d: duplicate dirty=", lineno)
+					}
+					if ev.DirtyBps, err = strconv.ParseFloat(strings.TrimPrefix(f, "dirty="), 64); err != nil {
+						return nil, fmt.Errorf("cluster: line %d: bad dirty rate: %v", lineno, err)
+					}
+					if ev.DirtyBps <= 0 {
+						return nil, fmt.Errorf("cluster: line %d: dirty rate must be positive, got %g", lineno, ev.DirtyBps)
+					}
+				default:
+					return nil, fmt.Errorf("cluster: line %d: unknown arrive field %q (want service= or dirty=)", lineno, f)
+				}
 			}
 			if arrived[ev.VM] {
 				return nil, fmt.Errorf("cluster: line %d: VM %s arrives twice", lineno, ev.VM)

@@ -141,6 +141,21 @@ type FleetConfig struct {
 	// empty path runs the identical quiesce barrier without writing a
 	// file — the reference arm of the restore-identity tests.
 	CheckpointPath string
+	// Migration, when non-nil, enables the live-migration rebalance
+	// pass: a control-plane sweep at post-warm epoch boundaries that
+	// starts pre-copy migrations from the most committed host and
+	// commits each stop-and-copy cutover at the first boundary past its
+	// modeled copy duration (docs/cluster.md, "Live migration model").
+	// Elasticity passes are global boundary work, so bounded-lag
+	// degrades to epoch pacing while either field is set — results stay
+	// byte-identical across sync modes and worker counts.
+	Migration *MigrationConfig
+	// ReplicaSet, when non-nil, enables ReplicaSet-style horizontal
+	// autoscaling: trace VMs carrying service= anchor a service; a
+	// controller scales VM replicas per service against windowed SLO
+	// attainment, with readiness gating and ReplicaFailure conditions
+	// (docs/cluster.md, "Horizontal autoscaling").
+	ReplicaSet *ReplicaSetConfig
 }
 
 // lag resolves the effective staleness/run-ahead bound.
@@ -199,6 +214,22 @@ type FleetResult struct {
 	// summed over hosts) — the price VCPU-Bal pays per period and
 	// vScale's per-VM channels avoid.
 	CentralSweep sim.Time
+
+	// Elasticity accounting (zero unless FleetConfig.Migration /
+	// ReplicaSet enable the layer). Migrations counts committed
+	// stop-and-copy cutovers; MigrationsAborted ones whose VM vanished
+	// before cutover; MigrationDowntime and MigrationBytes sum the
+	// modeled per-migration downtime and pre-copy traffic.
+	Migrations        int
+	MigrationsAborted int
+	MigrationDowntime sim.Time
+	MigrationBytes    int64
+	// ReplicasCreated/ReplicasRetired count horizontal scaling actions;
+	// ReplicaFailures counts scale-outs refused by the commit cap
+	// (ReplicaFailure conditions).
+	ReplicasCreated int
+	ReplicasRetired int
+	ReplicaFailures int
 }
 
 // RunFleet drives one fleet through a churn trace. Churn events are
@@ -221,6 +252,9 @@ func RunFleet(cfg FleetConfig, events []Event) (FleetResult, error) {
 
 	res := FleetResult{Policy: cfg.Policy, Hosts: cfg.Hosts}
 	rt := newFleetRouter(&cfg, plan, &res)
+	if rt.el != nil {
+		rt.el.attachHosts(hosts)
+	}
 
 	switch sync {
 	case SyncLockstep:
@@ -270,6 +304,16 @@ func prepareFleet(cfg *FleetConfig, events []Event) (*epochPlan, SyncMode, error
 	}
 	if cfg.WarmEpochs < 0 || cfg.WarmEpochs >= plan.epochs() {
 		return nil, "", fmt.Errorf("cluster: WarmEpochs %d outside [0, %d)", cfg.WarmEpochs, plan.epochs())
+	}
+	if cfg.Migration != nil {
+		if err := cfg.Migration.Validate(); err != nil {
+			return nil, "", err
+		}
+	}
+	if cfg.ReplicaSet != nil {
+		if err := cfg.ReplicaSet.Validate(); err != nil {
+			return nil, "", err
+		}
 	}
 	if cfg.CheckpointEpoch != 0 {
 		if cfg.CheckpointEpoch <= cfg.WarmEpochs || cfg.CheckpointEpoch >= plan.epochs() {
@@ -361,9 +405,12 @@ func runLockstep(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scalin
 		// collection epoch and (past the warm boundary) the policy pass.
 		end := plan.ends[start-1]
 		if start >= telFrom {
-			collectTelemetry(cfg.Telemetry, end, hosts, res, cfg.SLO, rt.telHist)
+			collectTelemetry(cfg.Telemetry, end, hosts, res, cfg.SLO, rt)
 		}
 		if start > cfg.WarmEpochs {
+			if rt.el != nil {
+				rt.el.pass(start, end)
+			}
 			epoch := end - plan.starts[start-1]
 			for i, h := range hosts {
 				h.boundaryPolicy(pols[i], epoch)
@@ -423,14 +470,29 @@ func runLockstep(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scalin
 					return err
 				}
 			}
-			for _, h := range hosts {
-				h.ResumeLoad()
+			if rt.el == nil {
+				for _, h := range hosts {
+					h.ResumeLoad()
+				}
 			}
 		}
 		if b >= telFrom {
-			collectTelemetry(cfg.Telemetry, end, hosts, res, cfg.SLO, rt.telHist)
+			collectTelemetry(cfg.Telemetry, end, hosts, res, cfg.SLO, rt)
 		}
 		if b > cfg.WarmEpochs {
+			if rt.el != nil {
+				if b == cfg.CheckpointEpoch {
+					// With the elasticity layer on, the post-capture resume
+					// happens here — on the control plane, right before the
+					// pass — matching the bounded-lag executor's barrier
+					// order (resume and collection commute: collection only
+					// reads state the resume never touches).
+					for _, h := range hosts {
+						h.ResumeLoad()
+					}
+				}
+				rt.el.pass(b, end)
+			}
 			// Policy pass: every live VM is observed and decided on in host
 			// order then admission order, while all engines are parked at the
 			// boundary. Daemon-driven policies return 0 (their in-guest
@@ -451,7 +513,7 @@ func runLockstep(cfg *FleetConfig, plan *epochPlan, hosts []*Host, pols []Scalin
 	}
 	// One terminal collection epoch so the scrape endpoint and the JSONL
 	// stream both end on the fully drained state.
-	collectTelemetry(cfg.Telemetry, cfg.Horizon+cfg.Drain, hosts, res, cfg.SLO, rt.telHist)
+	collectTelemetry(cfg.Telemetry, cfg.Horizon+cfg.Drain, hosts, res, cfg.SLO, rt)
 	return nil
 }
 
@@ -471,7 +533,7 @@ func aggregate(cfg *FleetConfig, hosts []*Host, res *FleetResult) error {
 		for _, name := range h.order {
 			vm := h.vms[name]
 			scratch = vm.gen.Stats()
-			addStats(&res.Load, scratch)
+			res.Load.Add(scratch)
 			if err := res.Hist.Merge(vm.gen.Hist()); err != nil {
 				return err
 			}

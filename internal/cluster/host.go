@@ -49,6 +49,11 @@ type hostVM struct {
 	k     *guest.Kernel
 	srv   *httpd.Server
 	gen   *loadgen.Generator
+	// link is the VM's I/O link; linkBps its unthrottled rate. The
+	// elasticity layer throttles links while the host sources a live
+	// migration (SetLinkScale).
+	link    *httpd.Link
+	linkBps float64
 
 	// lastConsumed checkpoints dom.TotalRunTime at the last snapshot so
 	// per-epoch consumption is a simple delta; epochConsumed keeps the
@@ -89,6 +94,14 @@ type Host struct {
 	armed     bool
 	pauseFrom sim.Time
 
+	// linkScale throttles every live VM's I/O link while the host
+	// sources a live migration (1 = unthrottled); pendingObs caches one
+	// boundary's observations between the elasticity pass that samples
+	// them and the policy pass that consumes them (Observations takes
+	// each load window exactly once per epoch).
+	linkScale  float64
+	pendingObs []VMObservation
+
 	// err records the first asynchronous fault raised inside engine
 	// callbacks (RunEpoch returns it).
 	err error
@@ -127,15 +140,16 @@ func NewHost(id int, cfg HostConfig) (*Host, error) {
 	pool := xen.NewPool(eng, xcfg)
 	pool.SetTracer(cfg.Tracer)
 	h := &Host{
-		id:      id,
-		cfg:     cfg,
-		mech:    mech,
-		eng:     eng,
-		pool:    pool,
-		d0:      dom0.New(dom0.DefaultConfig(), sim.NewRand(cfg.Seed^0x5bd1e995)),
-		hotplug: model,
-		vms:     map[string]*hostVM{},
-		armed:   !cfg.Disarmed,
+		id:        id,
+		cfg:       cfg,
+		mech:      mech,
+		eng:       eng,
+		pool:      pool,
+		d0:        dom0.New(dom0.DefaultConfig(), sim.NewRand(cfg.Seed^0x5bd1e995)),
+		hotplug:   model,
+		vms:       map[string]*hostVM{},
+		armed:     !cfg.Disarmed,
+		linkScale: 1,
 	}
 	pool.Start()
 	return h, nil
@@ -220,11 +234,24 @@ func (h *Host) scheduleRouted(batch []routedEvent) {
 // through the guest balancer. Daemon-driven policies return 0 — their
 // in-guest mechanism is already steering.
 func (h *Host) boundaryPolicy(pol ScalingPolicy, epoch sim.Time) {
-	for _, o := range h.Observations(epoch) {
+	obs := h.EpochObservations(epoch)
+	h.pendingObs = nil
+	for _, o := range obs {
 		if target := pol.Decide(o); target > 0 {
 			h.ApplyTarget(o.VM, target)
 		}
 	}
+}
+
+// EpochObservations returns the boundary's per-VM observations,
+// building (and caching) them on first call: the elasticity pass and
+// the policy pass both read the same load window; the policy pass —
+// always the boundary's last consumer — drains the cache.
+func (h *Host) EpochObservations(epoch sim.Time) []VMObservation {
+	if h.pendingObs == nil {
+		h.pendingObs = h.Observations(epoch)
+	}
+	return h.pendingObs
 }
 
 // addVM boots a VM at the current engine time: a domain weighted per
@@ -252,6 +279,10 @@ func (h *Host) addVM(name string, vcpus int, rate float64, seed uint64) error {
 	// carry a 32-thread pool.
 	hcfg.Workers = 8 * vcpus
 	link := httpd.NewLink(h.eng, hcfg.LinkBps)
+	if h.linkScale != 1 {
+		// The host is mid-migration: newcomers share the throttled link.
+		link.SetBps(hcfg.LinkBps * h.linkScale)
+	}
 	srv, err := httpd.NewServer(k, link, hcfg)
 	if err != nil {
 		return err
@@ -261,7 +292,8 @@ func (h *Host) addVM(name string, vcpus int, rate float64, seed uint64) error {
 		SLO:     h.cfg.SLO,
 	})
 
-	vm := &hostVM{name: name, vcpus: vcpus, seed: seed, dom: dom, k: k, srv: srv, gen: gen}
+	vm := &hostVM{name: name, vcpus: vcpus, seed: seed, dom: dom, k: k, srv: srv, gen: gen,
+		link: link, linkBps: hcfg.LinkBps}
 	h.vms[name] = vm
 	h.order = append(h.order, name)
 
@@ -364,6 +396,106 @@ func (h *Host) removeVM(name string) {
 	vm.k.StopDaemon()
 	vm.cost = vm.k.ActiveVCPUSeconds()
 	vm.retired = true
+}
+
+// HasLiveVM reports whether a non-retired VM of that name is resident.
+func (h *Host) HasLiveVM(name string) bool {
+	vm, ok := h.vms[name]
+	return ok && !vm.retired
+}
+
+// MigrateOut performs the source half of a stop-and-copy cutover:
+// retire the VM exactly as a departure would (its cost meter freezes,
+// in-flight requests drain) and return the identity the destination
+// re-boots it with. active is the guest's live vCPU count at cutover —
+// the memory image carries the freeze mask, so the destination resumes
+// with the same vCPUs offline instead of re-provisioning all of them.
+// Called by the elasticity pass while the engine is parked at a
+// boundary.
+func (h *Host) MigrateOut(name string) (vcpus, active int, seed uint64, ok bool) {
+	vm, exists := h.vms[name]
+	if !exists || vm.retired {
+		return 0, 0, 0, false
+	}
+	active = vm.k.ActiveVCPUs()
+	h.removeVM(name)
+	return vm.vcpus, active, vm.seed, true
+}
+
+// ScheduleMigrateIn boots the migrated VM on this host at `at` — the
+// cutover boundary plus the modeled downtime — with its original seed
+// and its post-migration offered rate. The guest resumes with the
+// source's freeze mask: vCPUs [active, vcpus) come up frozen, so the
+// cutover neither provisions nor costs capacity the guest had already
+// scaled away.
+func (h *Host) ScheduleMigrateIn(name string, vcpus, active int, rate float64, seed uint64, at sim.Time) {
+	h.eng.At(at, "cluster/migrate-in", func() {
+		if err := h.addVM(name, vcpus, rate, seed); err != nil {
+			h.fail(err)
+			return
+		}
+		vm := h.vms[name]
+		for id := active; id > 0 && id < vcpus; id++ {
+			if err := vm.k.FreezeVCPU(id); err != nil {
+				h.fail(err)
+				return
+			}
+		}
+	})
+}
+
+// SetVMRate drives a VM's load generator at rps (the replica-set
+// fan-out path). An absent or retired VM — e.g. one still landing from
+// a migration cutover — is skipped; the next boundary's fan-out
+// self-heals it.
+func (h *Host) SetVMRate(name string, rps float64) {
+	if vm, ok := h.vms[name]; ok && !vm.retired {
+		vm.gen.SetRate(rps)
+	}
+}
+
+// SetLinkScale throttles every live VM's I/O link to scale × its base
+// rate — migration traffic contending with guest I/O while this host
+// sources a pre-copy stream. In-flight transfers keep their departure
+// times (httpd.Link semantics); newcomers boot throttled while the
+// scale is below 1.
+func (h *Host) SetLinkScale(scale float64) {
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	if h.linkScale == scale {
+		return
+	}
+	h.linkScale = scale
+	for _, name := range h.order {
+		if vm := h.vms[name]; !vm.retired && vm.link != nil {
+			vm.link.SetBps(vm.linkBps * scale)
+		}
+	}
+}
+
+// statsAt rebuilds the boundary snapshot this host just published,
+// read-only: the consumption deltas Snapshot computed at this boundary
+// are reused, so the elasticity pass can feed Algorithm 1 live state
+// without touching accounting.
+func (h *Host) statsAt() []core.VMStat {
+	stats := make([]core.VMStat, 0, len(h.order))
+	for _, name := range h.order {
+		vm := h.vms[name]
+		if vm.retired {
+			continue
+		}
+		stats = append(stats, core.VMStat{
+			ID:               name,
+			Weight:           vm.dom.Weight,
+			Consumption:      vm.epochConsumed,
+			ReservationPCPUs: vm.dom.ReservationPCPUs,
+			CapPCPUs:         vm.dom.CapPCPUs,
+			MaxVCPUs:         vm.vcpus,
+			UP:               vm.vcpus == 1,
+		})
+	}
+	return stats
 }
 
 // StopAll retires every VM (end of horizon: drain in-flight requests).

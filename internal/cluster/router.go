@@ -107,6 +107,10 @@ type fleetRouter struct {
 	// telHist is collectTelemetry's reusable fleet-wide merge target,
 	// allocated once per run instead of once per collection epoch.
 	telHist *metrics.Histogram
+	// el, when non-nil, is the elasticity layer (migration + replica
+	// sets); the router feeds it every routed event, identically in
+	// both executors.
+	el *elasticity
 }
 
 func newFleetRouter(cfg *FleetConfig, plan *epochPlan, res *FleetResult) *fleetRouter {
@@ -114,7 +118,7 @@ func newFleetRouter(cfg *FleetConfig, plan *epochPlan, res *FleetResult) *fleetR
 	if cfg.Telemetry != nil {
 		telHist = metrics.NewHistogram(metrics.DefaultLatencyBuckets())
 	}
-	return &fleetRouter{
+	rt := &fleetRouter{
 		cfg:            cfg,
 		plan:           plan,
 		res:            res,
@@ -126,6 +130,22 @@ func newFleetRouter(cfg *FleetConfig, plan *epochPlan, res *FleetResult) *fleetR
 		committedExtra: make([]int, cfg.Hosts),
 		telHist:        telHist,
 	}
+	rt.el = newElasticity(cfg, plan, rt, res)
+	return rt
+}
+
+// recordPlacement appends a staleness-correction probe for a VM the
+// elasticity layer just committed to a host at boundary `epoch` — the
+// same bookkeeping an arrival gets, so later arrivals placing with
+// stale base snapshots see migrated VMs and replicas too.
+func (rt *fleetRouter) recordPlacement(host, epoch, vcpus int) {
+	p := placedProbe{
+		epoch: epoch,
+		vcpus: vcpus,
+		stat:  probeStat(vcpus, rt.cfg.PCPUsPerHost, rt.cfg.Epoch),
+	}
+	rt.probeLog[host] = append(rt.probeLog[host], p)
+	rt.probes[host] = append(rt.probes[host], p.stat)
 }
 
 // baseFor returns the snapshot boundary epoch k's arrivals are placed
@@ -187,6 +207,9 @@ func (rt *fleetRouter) routeEpoch(k int, stats [][]core.VMStat, committed []int)
 			if rt.record {
 				rt.res.Placements = append(rt.res.Placements, Placement{VM: ev.VM, Host: hIdx})
 			}
+			if rt.el != nil {
+				rt.el.observeEvent(ev, hIdx, k)
+			}
 		case EventPhase:
 			if hIdx, ok := rt.owner[ev.VM]; ok {
 				if batches == nil {
@@ -194,6 +217,9 @@ func (rt *fleetRouter) routeEpoch(k int, stats [][]core.VMStat, committed []int)
 				}
 				batches[hIdx] = append(batches[hIdx], routedEvent{ev: ev})
 				rt.res.PhaseChanges++
+				if rt.el != nil {
+					rt.el.observeEvent(ev, hIdx, k)
+				}
 			}
 		case EventDepart:
 			if hIdx, ok := rt.owner[ev.VM]; ok {
@@ -203,6 +229,9 @@ func (rt *fleetRouter) routeEpoch(k int, stats [][]core.VMStat, committed []int)
 				batches[hIdx] = append(batches[hIdx], routedEvent{ev: ev})
 				delete(rt.owner, ev.VM)
 				rt.res.Departed++
+				if rt.el != nil {
+					rt.el.observeEvent(ev, hIdx, k)
+				}
 			}
 		default:
 			return nil, fmt.Errorf("cluster: unknown event kind %v", ev.Kind)

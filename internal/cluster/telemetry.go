@@ -18,12 +18,16 @@ import (
 // or off. All walks follow the fixed host order and each host's VM
 // admission order, so the rendered snapshot (and the JSONL stream) is a
 // deterministic function of the seed.
-// scratch, when non-nil, is the reusable fleet-histogram merge target
-// (reset here), so per-epoch collection stops allocating one histogram
-// per call; the executors keep it on the router for the run's lifetime.
-func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res *FleetResult, slo sim.Time, scratch *metrics.Histogram) {
+// rt supplies the run-lifetime scratch histogram (the reusable
+// fleet-histogram merge target, reset here) and, when the elasticity
+// layer is on, its migration and replica-set gauges.
+func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res *FleetResult, slo sim.Time, rt *fleetRouter) {
 	if col == nil {
 		return
+	}
+	var scratch *metrics.Histogram
+	if rt != nil {
+		scratch = rt.telHist
 	}
 	reg := col.Registry()
 
@@ -67,6 +71,11 @@ func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res
 		reg.CounterSeries("vscale_host_provisioned_vcpu_seconds_total",
 			"Provisioned cost of the host's VMs: integral of active vCPUs over each VM's lifetime.",
 			"host", host).Set(h.ProvisionedVCPUSeconds())
+		if rt != nil && rt.el != nil {
+			reg.CounterSeries("vscale_host_migrations_total",
+				"Stop-and-copy cutovers committed with this host as the source.",
+				"host", host).Set(float64(rt.el.hostMigs[h.id]))
+		}
 
 		var switches uint64
 		runq := 0
@@ -114,7 +123,7 @@ func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res
 				// a real exporter whose target went away mid-scrape cycle;
 				// its terminal load still counts into the fleet aggregate.
 				st := vm.gen.Stats()
-				addStats(&load, st)
+				load.Add(st)
 				_ = fleetHist.Merge(vm.gen.Hist())
 				_, decisions := vm.k.DaemonStats()
 				reconfigs += decisions + vm.policyOps
@@ -149,7 +158,7 @@ func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res
 				labels...).Set(vm.k.ActiveVCPUSeconds())
 
 			st := vm.gen.Stats()
-			addStats(&load, st)
+			load.Add(st)
 			reg.CounterSeries("vscale_vm_offered_requests_total",
 				"Requests injected into the VM by the open-loop generator.", labels...).Set(float64(st.Offered))
 			reg.CounterSeries("vscale_vm_replies_total",
@@ -189,16 +198,17 @@ func collectTelemetry(col *telemetry.Collector, now sim.Time, hosts []*Host, res
 		"Reply latency across the whole fleet, milliseconds.").
 		SetFromHistogram(fleetHist, 0.5, 0.95, 0.99)
 
-	col.EpochDone(now)
-}
+	if rt != nil && rt.el != nil {
+		reg.CounterSeries("vscale_migration_downtime_seconds",
+			"Modeled stop-and-copy downtime summed over committed migrations.").
+			Set(res.MigrationDowntime.Seconds())
+		for _, s := range rt.el.rs.Services() {
+			_, ready, _ := s.Live()
+			reg.GaugeSeries("vscale_service_ready_replicas",
+				"Ready members (anchors and replicas) of the service.",
+				"service", s.Name).Set(float64(ready))
+		}
+	}
 
-// addStats folds one generator snapshot into a fleet aggregate.
-func addStats(s *loadgen.Stats, o loadgen.Stats) {
-	s.Offered += o.Offered
-	s.Done += o.Done
-	s.Replies += o.Replies
-	s.Errors += o.Errors
-	s.SLOOk += o.SLOOk
-	s.SLOTotal += o.SLOTotal
-	s.InFlight += o.InFlight
+	col.EpochDone(now)
 }

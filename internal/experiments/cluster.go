@@ -83,9 +83,18 @@ func (w ClusterWarm) validate(hostCounts []int, tracing bool) error {
 //
 // warm configures the policy-neutral warm prefix and the
 // checkpoint/restore handoff; see ClusterWarm.
-func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus int, horizon, slo sim.Time, policies []string, syncMode cluster.SyncMode, lag int, warm ClusterWarm) (ClusterResult, error) {
+//
+// elastic selects the fleet elasticity mode (cluster.ElasticityFor):
+// with migrations or replica scaling on, the churn traces gain service
+// groupings and dirty-page hints; the default "" keeps the historical
+// traces and stdout byte-identical.
+func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus int, horizon, slo sim.Time, policies []string, syncMode cluster.SyncMode, lag int, elastic string, warm ClusterWarm) (ClusterResult, error) {
 	if len(hostCounts) == 0 {
 		return ClusterResult{}, fmt.Errorf("cluster: no host counts")
+	}
+	migCfg, rsCfg, err := cluster.ElasticityFor(elastic)
+	if err != nil {
+		return ClusterResult{}, err
 	}
 	if err := warm.validate(hostCounts, opts.Trace); err != nil {
 		return ClusterResult{}, err
@@ -109,6 +118,10 @@ func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus 
 		tcfg.InitialVMs = 2 * hc
 		tcfg.ArrivalEvery = horizon / sim.Time(4*hc)
 		tcfg.RateChoices = []float64{1000, 3000, 6000}
+		if migCfg != nil || rsCfg != nil {
+			tcfg.Services = []string{"web", "api", "db", "cache"}
+			tcfg.DirtyBpsChoices = []float64{50e6, 200e6, 800e6}
+		}
 		traceSeed := runner.DeriveSeed(opts.BaseSeed, hc)
 		events := cluster.GenTrace(tcfg, traceSeed)
 
@@ -123,6 +136,8 @@ func Cluster(opts runner.Options, sink *telemetry.Sink, hostCounts []int, pcpus 
 			LagEpochs:    lag,
 			WarmEpochs:   warm.Epochs,
 			Report:       opts.Report,
+			Migration:    migCfg,
+			ReplicaSet:   rsCfg,
 		}
 
 		// The warm-fork handoff: one snapshot per host count — loaded

@@ -62,6 +62,11 @@ type Config struct {
 	// the prefix. See ClusterWarm.
 	CheckpointPath string
 	RestorePath    string
+	// Elastic selects the cluster fleets' elasticity mode (see
+	// cluster.ElasticityFor): "" or "none"/"vertical" for the historical
+	// vertical-only fleets, "migrate"/"replicas"/"hybrid" to turn on
+	// live migration and/or ReplicaSet-style horizontal autoscaling.
+	Elastic string
 
 	mu      sync.Mutex
 	npb4    *npbMemo
@@ -469,7 +474,7 @@ func Registry() []Experiment {
 					CheckpointPath: c.CheckpointPath,
 					RestorePath:    c.RestorePath,
 				}
-				r, err := Cluster(c.opts(rep), c.Telemetry, hostCounts, 4, horizon, 50*sim.Millisecond, c.Policies, syncMode, c.LagEpochs, warm)
+				r, err := Cluster(c.opts(rep), c.Telemetry, hostCounts, 4, horizon, 50*sim.Millisecond, c.Policies, syncMode, c.LagEpochs, c.Elastic, warm)
 				if err != nil {
 					return Result{}, fmt.Errorf("cluster: %w", err)
 				}
@@ -535,6 +540,38 @@ func Registry() []Experiment {
 					return Result{}, err
 				}
 				res := Result{Name: "warmfork", Text: r.Render(), Metrics: r.Metrics()}
+				if rep.Jobs > 0 {
+					res.Report = rep
+				}
+				return res, nil
+			},
+		},
+		{
+			Name:        "bakeoff",
+			Title:       "Bake-off — vertical vs horizontal vs hybrid elasticity",
+			Desc:        "vScale vCPU scaling vs live migration + replica autoscaling vs both, forked from one warm snapshot of one service-annotated trace; cost-vs-attainment per arm",
+			QuickParams: "4 hosts, 16 s churn (8 warm epochs)",
+			FullParams:  "4 hosts, 16 s churn (8 warm epochs)",
+			Run: func(c *Config) (Result, error) {
+				rep := &runner.Report{}
+				// Same size under -quick: the bake-off's verdict needs the
+				// full horizon (a shorter trace never reaches the overload
+				// that separates the arms).
+				horizon := 16 * sim.Second
+				warmEpochs := 8
+				if c.WarmEpochs > 0 {
+					warmEpochs = c.WarmEpochs
+				}
+				syncMode, err := cluster.ParseSyncMode(c.Sync)
+				if err != nil {
+					return Result{}, fmt.Errorf("bakeoff: %w", err)
+				}
+				r, err := Bakeoff(c.opts(rep), c.Telemetry, 4, 4, horizon, 50*sim.Millisecond,
+					warmEpochs, syncMode, c.LagEpochs)
+				if err != nil {
+					return Result{}, err
+				}
+				res := Result{Name: "bakeoff", Text: r.Render(), Metrics: r.Metrics()}
 				if rep.Jobs > 0 {
 					res.Report = rep
 				}

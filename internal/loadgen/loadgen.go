@@ -58,6 +58,30 @@ func (s Stats) Attainment() float64 {
 	return float64(s.SLOOk) / float64(s.Offered)
 }
 
+// Add accumulates o into s (fleet- or service-level aggregation).
+// InFlight sums too: both are point-in-time backlogs of disjoint
+// generators.
+func (s *Stats) Add(o Stats) {
+	s.Offered += o.Offered
+	s.Done += o.Done
+	s.Replies += o.Replies
+	s.Errors += o.Errors
+	s.SLOOk += o.SLOOk
+	s.SLOTotal += o.SLOTotal
+	s.InFlight += o.InFlight
+}
+
+// Share splits a service's total offered rate evenly across its ready
+// replicas: the per-replica rate a horizontal autoscaler should drive
+// each generator at. Zero ready replicas yield zero (nothing can
+// receive load).
+func Share(totalRPS float64, ready int) float64 {
+	if ready <= 0 {
+		return 0
+	}
+	return totalRPS / float64(ready)
+}
+
 // Generator injects Poisson arrivals into one server.
 type Generator struct {
 	eng  *sim.Engine

@@ -79,6 +79,19 @@ func NewLink(eng *sim.Engine, bps float64) *Link {
 	return &Link{eng: eng, bps: bps}
 }
 
+// SetBps changes the link's bit rate from now on. In-flight transfers
+// keep their already-computed departure times; only later Sends price
+// at the new rate. The cluster uses this to model live-migration
+// traffic contending with guest I/O on the host uplink.
+func (l *Link) SetBps(bps float64) {
+	if bps > 0 {
+		l.bps = bps
+	}
+}
+
+// Bps returns the link's current bit rate.
+func (l *Link) Bps() float64 { return l.bps }
+
 // Send enqueues size bytes and returns the departure (transfer-complete)
 // time.
 func (l *Link) Send(size int) sim.Time {
